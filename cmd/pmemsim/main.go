@@ -1,0 +1,78 @@
+// Command pmemsim runs one workload through the full-system performance
+// simulator and prints the baseline/proposal comparison.
+//
+//	pmemsim -workload hashmap -tech pcm
+//	pmemsim -workload echo -tech reram -instructions 4000000
+//	pmemsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chipkillpm/internal/nvram"
+	"chipkillpm/internal/sim"
+	"chipkillpm/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "echo", "workload name (see -list)")
+	tech := flag.String("tech", "pcm", "NVRAM technology: pcm | reram")
+	instructions := flag.Int64("instructions", 2_000_000, "measured instructions")
+	warmup := flag.Int64("warmup", 600_000, "warmup instructions")
+	seed := flag.Int64("seed", 7, "simulation seed")
+	list := flag.Bool("list", false, "list workloads")
+	flag.Parse()
+
+	if *list {
+		for _, p := range trace.Workloads() {
+			fmt.Printf("  %-10s %-8s compute/query=%-5d PM r/w per query=%.0f/%.0f\n",
+				p.Name, p.Class, p.ComputePerQuery, p.PMReads, p.PMWrites)
+		}
+		return
+	}
+
+	p, ok := trace.FindWorkload(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pmemsim: unknown workload %q (try -list)\n", *workload)
+		os.Exit(1)
+	}
+	var t nvram.Tech
+	switch *tech {
+	case "pcm":
+		t = nvram.PCM3
+	case "reram":
+		t = nvram.ReRAM
+	default:
+		fmt.Fprintf(os.Stderr, "pmemsim: unknown technology %q\n", *tech)
+		os.Exit(1)
+	}
+
+	opt := sim.DefaultOptions(t, *seed)
+	opt.Instructions = *instructions
+	opt.Warmup = *warmup
+	cmp, err := sim.Compare(p, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmemsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload      %s (%s), %s latencies (read %.0f ns / write %.0f ns)\n",
+		p.Name, p.Class, t.Name, t.ReadLatency, t.WriteLatency)
+	fmt.Printf("baseline      IPC %.3f   avg read latency %.0f ns\n",
+		cmp.Baseline.IPC, cmp.Baseline.Mem.AvgReadLatencyNS())
+	fmt.Printf("C factor      %.3f  (tWR inflation %.2fx + 20 ns)\n",
+		cmp.CPass.CFactor, 1+(33.0/8.0)*cmp.CPass.CFactor)
+	fmt.Printf("proposal      IPC %.3f   avg read latency %.0f ns\n",
+		cmp.Proposal.IPC, cmp.Proposal.Mem.AvgReadLatencyNS())
+	fmt.Printf("normalized    %.3f (%.1f%% overhead)\n",
+		cmp.Normalized, 100*(1-cmp.Normalized))
+	fmt.Printf("OMV hit rate  %.1f%%   dirty-PM occupancy %.2f%%\n",
+		100*cmp.Proposal.OMVHitRate, 100*cmp.Proposal.DirtyPMFrac)
+	fmt.Printf("VLEW fallback %d reads   OMV fetches %d\n",
+		cmp.Proposal.Mem.VLEWFallbacks, cmp.Proposal.Mem.OMVFetches)
+	fmt.Printf("access mix    PM %.0f%%r/%.0f%%w  DRAM %.0f%%r/%.0f%%w\n",
+		100*cmp.Baseline.PMReadFrac, 100*cmp.Baseline.PMWriteFrac,
+		100*cmp.Baseline.DRAMReadFrac, 100*cmp.Baseline.DRAMWriteFrac)
+}

@@ -1,0 +1,65 @@
+// Command reliability is an analytical ECC explorer: it sizes codes,
+// prints miscorrection rates and storage costs for arbitrary parameters,
+// complementing cmd/experiments' fixed paper figures.
+//
+//	reliability -rber 1e-3 -word 256        # size a VLEW
+//	reliability -sdc -threshold 2           # appendix SDC at a threshold
+//	reliability -schemes -rber 1e-3         # compare all schemes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chipkillpm/internal/bch"
+	"chipkillpm/internal/reliability"
+)
+
+func main() {
+	rber := flag.Float64("rber", 1e-3, "raw bit error rate")
+	word := flag.Int("word", 256, "ECC word data size in bytes")
+	sdc := flag.Bool("sdc", false, "print the RS miscorrection (SDC) analysis")
+	threshold := flag.Int("threshold", 2, "RS correction acceptance threshold for -sdc")
+	schemes := flag.Bool("schemes", false, "compare protection schemes at -rber")
+	flag.Parse()
+
+	switch {
+	case *sdc:
+		m := reliability.RSMiscorrection{K: 64, R: 8, T: *threshold, RBER: *rber}
+		fmt.Printf("RS(72,64) @ RBER %.2g, accept <= %d corrections:\n", *rber, *threshold)
+		fmt.Printf("  nth (errors needed to miscorrect)  %d\n", m.NTh())
+		fmt.Printf("  Term A (P[>= nth byte errors])     %.3e\n", m.TermA())
+		fmt.Printf("  Term B (P[decodes to a codeword])  %.3e\n", m.TermB())
+		fmt.Printf("  SDC rate                           %.3e\n", m.SDCRate())
+		fmt.Printf("  vs 1e-17 target                    %.2ex\n", m.SDCRate()/reliability.TargetSDC)
+	case *schemes:
+		fmt.Printf("Protection schemes at RBER %.2g (UE target %.0e per word):\n\n", *rber, reliability.TargetUE)
+		costs := append(reliability.Fig2Schemes(*rber),
+			reliability.BitOnlyBCHCost(64, *rber),
+			reliability.VLEWSchemeCost(256, *rber))
+		for _, sc := range costs {
+			if !sc.Feasible {
+				fmt.Printf("  %-45s infeasible\n", sc.Scheme)
+				continue
+			}
+			fmt.Printf("  %-45s %s\n", sc.Scheme, sc.Detail)
+		}
+	default:
+		k := *word * 8
+		t, err := reliability.MinBCHT(k, *rber, reliability.TargetUE, 400)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reliability:", err)
+			os.Exit(1)
+		}
+		bits := bch.ParityBitsEstimate(k, t)
+		fmt.Printf("BCH sizing for %dB data words at RBER %.2g (UE <= %.0e):\n", *word, *rber, reliability.TargetUE)
+		fmt.Printf("  required correction strength  %d bits\n", t)
+		fmt.Printf("  code bits                     %d (%.1fB)\n", bits, float64(bits)/8)
+		fmt.Printf("  storage overhead              %.1f%%\n", 100*float64(bits)/float64(k))
+		sc := reliability.VLEWSchemeCost(*word, *rber)
+		if sc.Feasible {
+			fmt.Printf("  with parity chip (chipkill)   %.1f%%\n", 100*sc.Cost)
+		}
+	}
+}

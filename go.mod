@@ -1,0 +1,3 @@
+module chipkillpm
+
+go 1.22

@@ -1,0 +1,343 @@
+// Package bch implements binary BCH codes: systematic encoding, and
+// decoding via Berlekamp-Massey plus Chien search.
+//
+// BCH codes are the workhorse of this repository's very long ECC words
+// (VLEWs): the paper protects each 256 B of per-chip data with a
+// 22-bit-error-correcting BCH code over GF(2^12) (33 B of code bits), and
+// the Flash-style and per-block baselines use the same machinery at other
+// (m, k, t) points. Codes are shortened: any data length k with
+// k + parity <= 2^m - 1 is accepted.
+//
+// Because BCH is linear, code-bit updates can be computed from the XOR of
+// old and new data alone: f(x) XOR f(x') = f(x XOR x'). EncodeDelta exposes
+// exactly that operation; it is what the paper's in-NVRAM-chip encoder and
+// ECC Update Registerfile (EUR) evaluate on each write.
+package bch
+
+import (
+	"errors"
+	"fmt"
+
+	"chipkillpm/internal/gf"
+)
+
+// ErrUncorrectable reports that the received word contains more errors than
+// the code can correct (or an error pattern outside the shortened code).
+var ErrUncorrectable = errors.New("bch: uncorrectable error pattern")
+
+// Code is a binary (n, k) BCH code with designed error-correction
+// capability t, built over GF(2^m). It is immutable and safe for
+// concurrent use.
+type Code struct {
+	field *gf.Field
+	m     uint
+	t     int
+	k     int // data bits
+	r     int // parity bits = deg(generator)
+	n     int // codeword bits = k + r (shortened from 2^m-1)
+	gen   gf.Poly2
+}
+
+// New constructs a binary BCH code over GF(2^m) that protects k data bits
+// and corrects up to t bit errors. It returns an error when the shortened
+// length k + deg(g) exceeds 2^m - 1 or the parameters are degenerate.
+func New(m uint, k, t int) (*Code, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("bch: t=%d must be >= 1", t)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("bch: k=%d must be >= 1", k)
+	}
+	field, err := gf.NewField(m)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := generator(field, t)
+	if err != nil {
+		return nil, err
+	}
+	r := gen.Degree()
+	if k+r > field.N() {
+		return nil, fmt.Errorf("bch: k+r = %d+%d exceeds 2^%d-1 = %d; use a larger m",
+			k, r, m, field.N())
+	}
+	return &Code{field: field, m: m, t: t, k: k, r: r, n: k + r, gen: gen}, nil
+}
+
+// Must is New but panics on error; for initialising known-good codes.
+func Must(m uint, k, t int) *Code {
+	c, err := New(m, k, t)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// generator computes g(x) = lcm of the minimal polynomials of
+// alpha^1 .. alpha^2t over GF(2).
+func generator(f *gf.Field, t int) (gf.Poly2, error) {
+	n := f.N()
+	covered := make([]bool, n+1)
+	g := gf.NewPoly2(0) // 1
+	for i := 1; i <= 2*t; i++ {
+		if covered[i] {
+			continue
+		}
+		// Conjugacy class of alpha^i: exponents i, 2i, 4i, ... mod n.
+		minPoly := gf.Poly{1} // over GF(2^m); will have GF(2) coefficients
+		e := i
+		for {
+			covered[e] = true
+			minPoly = f.PolyMul(minPoly, gf.Poly{f.Exp(e), 1}) // (x + alpha^e)
+			e = (e * 2) % n
+			if e == i {
+				break
+			}
+		}
+		// A minimal polynomial over GF(2) must have 0/1 coefficients.
+		mp := gf.Poly2(nil)
+		for deg, c := range minPoly {
+			switch c {
+			case 0:
+			case 1:
+				mp = mp.SetCoeff(deg, 1)
+			default:
+				return nil, fmt.Errorf("bch: internal: minimal polynomial of alpha^%d has coefficient %d outside GF(2)", i, c)
+			}
+		}
+		g = g.Mul(mp)
+	}
+	return g, nil
+}
+
+// K returns the number of data bits.
+func (c *Code) K() int { return c.k }
+
+// N returns the codeword length in bits (data + parity).
+func (c *Code) N() int { return c.n }
+
+// T returns the designed error-correction capability in bits.
+func (c *Code) T() int { return c.t }
+
+// ParityBits returns the number of code (parity) bits, deg(g).
+func (c *Code) ParityBits() int { return c.r }
+
+// ParityBytes returns the parity size rounded up to whole bytes, which is
+// how the memory layouts in this repository store code bits.
+func (c *Code) ParityBytes() int { return (c.r + 7) / 8 }
+
+// DataBytes returns k/8 rounded up.
+func (c *Code) DataBytes() int { return (c.k + 7) / 8 }
+
+// Generator returns a copy of the generator polynomial.
+func (c *Code) Generator() gf.Poly2 { return c.gen.Clone() }
+
+// Encode computes the parity bytes for data. len(data) must be exactly
+// DataBytes(); when k is not a byte multiple the unused high bits of the
+// last byte must be zero. The returned slice has ParityBytes() bytes.
+func (c *Code) Encode(data []byte) []byte {
+	if len(data) != c.DataBytes() {
+		panic(fmt.Sprintf("bch: Encode: got %d data bytes, want %d", len(data), c.DataBytes()))
+	}
+	// Systematic encoding: parity(x) = (data(x) * x^r) mod g(x).
+	p := gf.Poly2FromBytes(data).Shl(c.r).Mod(c.gen)
+	return p.Bytes(c.ParityBytes())
+}
+
+// EncodeDelta computes the parity update f(delta) for a sparse data change:
+// delta is XOR(old, new) for the bitOffset-aligned region it covers, where
+// bitOffset is the position of delta's first bit within the k data bits.
+// XORing the result into the stored parity yields the parity of the new
+// data. This is the operation the paper embeds in NVRAM chips (Fig. 11):
+// the chip receives the bitwise sum of old and new data and updates the
+// VLEW code bits without knowing either value in full.
+func (c *Code) EncodeDelta(delta []byte, bitOffset int) []byte {
+	if bitOffset < 0 || bitOffset+8*len(delta) > c.k {
+		panic(fmt.Sprintf("bch: EncodeDelta: %d bytes at bit offset %d overflow k=%d", len(delta), bitOffset, c.k))
+	}
+	p := gf.Poly2FromBytes(delta).Shl(c.r + bitOffset).Mod(c.gen)
+	return p.Bytes(c.ParityBytes())
+}
+
+// XORParity XORs src into dst in place; a convenience mirroring the EUR's
+// accumulate operation. Both must be ParityBytes() long.
+func (c *Code) XORParity(dst, src []byte) {
+	if len(dst) != c.ParityBytes() || len(src) != c.ParityBytes() {
+		panic("bch: XORParity: parity length mismatch")
+	}
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+// syndromes evaluates the received word at alpha^1..alpha^2t. The received
+// word is data || parity with parity occupying degrees 0..r-1 and data bit
+// i at degree r+i. Returns true when all syndromes are zero.
+func (c *Code) syndromes(data, parity []byte) ([]gf.Elem, bool) {
+	syn := make([]gf.Elem, 2*c.t)
+	clean := true
+	addBit := func(deg int) {
+		for j := range syn {
+			syn[j] ^= c.field.Exp(deg * (j + 1))
+		}
+	}
+	for i, b := range parity {
+		for bit := 0; bit < 8; bit++ {
+			if b&(1<<uint(bit)) != 0 {
+				deg := 8*i + bit
+				if deg < c.r {
+					addBit(deg)
+				}
+			}
+		}
+	}
+	for i, b := range data {
+		for bit := 0; bit < 8; bit++ {
+			if b&(1<<uint(bit)) != 0 {
+				addBit(c.r + 8*i + bit)
+			}
+		}
+	}
+	for _, s := range syn {
+		if s != 0 {
+			clean = false
+			break
+		}
+	}
+	return syn, clean
+}
+
+// berlekampMassey returns the error-locator polynomial sigma for the given
+// syndromes.
+func (c *Code) berlekampMassey(syn []gf.Elem) gf.Poly {
+	f := c.field
+	sigma := gf.Poly{1}
+	prev := gf.Poly{1}
+	l := 0
+	shift := 1
+	b := gf.Elem(1)
+	for i := 0; i < len(syn); i++ {
+		// Discrepancy d = S_i + sum_{j=1..l} sigma_j * S_{i-j}.
+		d := syn[i]
+		for j := 1; j <= l && j < len(sigma); j++ {
+			if i-j >= 0 {
+				d ^= f.Mul(sigma[j], syn[i-j])
+			}
+		}
+		if d == 0 {
+			shift++
+			continue
+		}
+		scale := f.Div(d, b)
+		adj := f.PolyMulXk(f.PolyScale(prev, scale), shift)
+		next := f.PolyAdd(sigma, adj)
+		if 2*l <= i {
+			prev = sigma
+			b = d
+			l = i + 1 - l
+			shift = 1
+		} else {
+			shift++
+		}
+		sigma = next
+	}
+	return sigma
+}
+
+// chien finds all error positions (bit degrees in the received polynomial)
+// by locating roots of sigma. It returns nil and false when the number of
+// roots inside the shortened code does not match deg(sigma).
+func (c *Code) chien(sigma gf.Poly) ([]int, bool) {
+	f := c.field
+	deg := gf.PolyDeg(sigma)
+	if deg <= 0 {
+		return nil, deg == 0
+	}
+	positions := make([]int, 0, deg)
+	for p := 0; p < c.n; p++ {
+		if f.PolyEval(sigma, f.Exp(-p)) == 0 {
+			positions = append(positions, p)
+			if len(positions) == deg {
+				break
+			}
+		}
+	}
+	return positions, len(positions) == deg
+}
+
+// Decode corrects bit errors in data and parity in place. It returns the
+// number of bits corrected, or ErrUncorrectable when the error pattern
+// exceeds the code's capability. On error, data and parity are unchanged.
+//
+// Decode can miscorrect when more than t errors are present: like any
+// bounded-distance decoder it may map the received word onto a different
+// codeword. Callers that need a lower silent-data-corruption probability
+// apply an acceptance threshold on the number of corrections (see
+// internal/core).
+func (c *Code) Decode(data, parity []byte) (int, error) {
+	if len(data) != c.DataBytes() || len(parity) != c.ParityBytes() {
+		return 0, fmt.Errorf("bch: Decode: got %d data bytes and %d parity bytes, want %d and %d",
+			len(data), len(parity), c.DataBytes(), c.ParityBytes())
+	}
+	syn, clean := c.syndromes(data, parity)
+	if clean {
+		return 0, nil
+	}
+	sigma := c.berlekampMassey(syn)
+	if gf.PolyDeg(sigma) > c.t {
+		return 0, ErrUncorrectable
+	}
+	positions, ok := c.chien(sigma)
+	if !ok {
+		return 0, ErrUncorrectable
+	}
+	for _, p := range positions {
+		if p < c.r {
+			parity[p/8] ^= 1 << uint(p%8)
+		} else {
+			d := p - c.r
+			data[d/8] ^= 1 << uint(d%8)
+		}
+	}
+	// Guard against residual errors: with e <= t genuine errors the
+	// corrected word is a codeword; verify cheaply via syndromes.
+	if _, clean := c.syndromes(data, parity); !clean {
+		for _, p := range positions { // roll back
+			if p < c.r {
+				parity[p/8] ^= 1 << uint(p%8)
+			} else {
+				d := p - c.r
+				data[d/8] ^= 1 << uint(d%8)
+			}
+		}
+		return 0, ErrUncorrectable
+	}
+	return len(positions), nil
+}
+
+// CheckClean reports whether data||parity is a codeword (no errors
+// detected), without attempting correction.
+func (c *Code) CheckClean(data, parity []byte) bool {
+	_, clean := c.syndromes(data, parity)
+	return clean
+}
+
+// String implements fmt.Stringer.
+func (c *Code) String() string {
+	return fmt.Sprintf("BCH(n=%d,k=%d,t=%d) over GF(2^%d)", c.n, c.k, c.t, c.m)
+}
+
+// ParityBitsEstimate returns the paper's storage-cost formula for BCH:
+// t * (floor(log2 k) + 1) code bits to correct t errors in k data bits.
+// The actual deg(g) can be slightly smaller; the paper (and our storage
+// accounting) uses this bound.
+func ParityBitsEstimate(k, t int) int {
+	if k <= 0 || t <= 0 {
+		return 0
+	}
+	m := 0
+	for v := k; v > 0; v >>= 1 {
+		m++
+	}
+	return t * m
+}

@@ -1,0 +1,457 @@
+// Package cache models the simulated processor's cache hierarchy: private
+// L1s and a shared LLC extended with the paper's two tag bits per LLC line
+// (Sec V-D):
+//
+//   - SAM ("SameAsMem"): the line currently holds the same value as
+//     off-chip persistent memory (set on fill-from-memory and on clean).
+//   - OMV: the line preserves the Old Memory Value of a dirty persistent-
+//     memory block and is invisible to normal lookups.
+//
+// When a dirty write-back arrives at an LLC line whose SAM bit is set, the
+// LLC preserves the old copy by flipping it to an OMV line and allocating
+// a different way for the dirty data. When a dirty persistent-memory block
+// is later written back or cleaned, the LLC finds the matching OMV (or
+// SAM) line and supplies the old value, sparing the memory controller the
+// read-modify-write fetch; this succeeds for ~98.6% of persistent-memory
+// writes in the paper (Fig 18).
+//
+// The model is tag-only (no data payloads): the functional correctness of
+// the XOR write path is exercised in internal/core; here we account time
+// and traffic.
+package cache
+
+import (
+	"fmt"
+
+	"chipkillpm/internal/config"
+)
+
+// Memory is the cache hierarchy's view of the memory controller.
+type Memory interface {
+	// Read returns the absolute time (ns) at which the block's data is
+	// available, given the request is issued at now.
+	Read(addr uint64, nowNS float64) (doneNS float64)
+	// Write posts a block write. needOMV is true when the write targets
+	// persistent memory and the LLC could not supply the old memory
+	// value, forcing the controller to fetch it from memory first.
+	// The return value is the time at which the CPU may proceed (usually
+	// now; later when write buffers are full).
+	Write(addr uint64, nowNS float64, needOMV bool) (freeNS float64)
+	// IsPM reports whether the address belongs to persistent memory.
+	IsPM(addr uint64) bool
+}
+
+// OMVPolicy selects how the hierarchy supplies old memory values for
+// persistent-memory writes.
+type OMVPolicy int
+
+// OMV policies.
+const (
+	// OMVOff models the bit-error-only baseline: no VLEW code bits exist,
+	// so writes never need old values.
+	OMVOff OMVPolicy = iota
+	// OMVPreserve is the proposal: SAM/OMV tag bits keep old values of
+	// dirty persistent-memory blocks in the LLC (Sec V-D).
+	OMVPreserve
+	// OMVAlwaysFetch models the proposal without the LLC optimisation:
+	// every persistent-memory write fetches its old value from memory
+	// (the read-modify-write overhead of Fig 5). Ablation only.
+	OMVAlwaysFetch
+)
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	pm    bool
+	sam   bool
+	omv   bool
+	lru   uint64
+}
+
+type cacheArray struct {
+	sets     [][]line
+	setMask  uint64
+	lineBits uint
+	tick     uint64
+}
+
+func newArray(c config.Cache) *cacheArray {
+	nsets := c.SizeBytes / (c.Ways * c.LineBytes)
+	a := &cacheArray{
+		sets:    make([][]line, nsets),
+		setMask: uint64(nsets - 1),
+	}
+	for i := range a.sets {
+		a.sets[i] = make([]line, c.Ways)
+	}
+	for b := c.LineBytes; b > 1; b >>= 1 {
+		a.lineBits++
+	}
+	return a
+}
+
+func (a *cacheArray) set(block uint64) []line { return a.sets[block&a.setMask] }
+
+// lookup finds a valid, non-OMV line holding block.
+func (a *cacheArray) lookup(block uint64) *line {
+	for i := range a.set(block) {
+		l := &a.set(block)[i]
+		if l.valid && !l.omv && l.tag == block {
+			a.tick++
+			l.lru = a.tick
+			return l
+		}
+	}
+	return nil
+}
+
+// lookupOMV finds an OMV line holding block.
+func (a *cacheArray) lookupOMV(block uint64) *line {
+	for i := range a.set(block) {
+		l := &a.set(block)[i]
+		if l.valid && l.omv && l.tag == block {
+			return l
+		}
+	}
+	return nil
+}
+
+// victim returns the LRU line of block's set (possibly valid and dirty).
+func (a *cacheArray) victim(block uint64) *line {
+	set := a.set(block)
+	best := &set[0]
+	for i := range set {
+		l := &set[i]
+		if !l.valid {
+			return l
+		}
+		if l.lru < best.lru {
+			best = l
+		}
+	}
+	return best
+}
+
+func (a *cacheArray) touch(l *line) {
+	a.tick++
+	l.lru = a.tick
+}
+
+// Stats counts hierarchy activity.
+type Stats struct {
+	L1Hits, L1Misses   int64
+	LLCHits, LLCMisses int64
+	Writebacks         int64 // dirty evictions reaching memory
+	Cleans             int64 // clwb-initiated writes reaching memory
+	PMWrites           int64 // writes to persistent memory (Fig 18 denominator)
+	OMVHits            int64 // old value served from LLC (SAM or OMV line)
+	OMVMisses          int64 // old value fetched from off-chip memory
+	OMVLinesCreated    int64
+}
+
+// OMVHitRate returns the fraction of persistent-memory writes whose OMV
+// was served from the LLC (Fig 18).
+func (s Stats) OMVHitRate() float64 {
+	tot := s.OMVHits + s.OMVMisses
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.OMVHits) / float64(tot)
+}
+
+// Hierarchy is the multi-core cache hierarchy.
+type Hierarchy struct {
+	cfg      config.System
+	l1       []*cacheArray
+	llc      *cacheArray
+	mem      Memory
+	policy   OMVPolicy
+	l1LatNS  float64
+	llcLatNS float64
+	stats    Stats
+}
+
+// New builds the hierarchy with the given OMV policy (see OMVPolicy).
+func New(cfg config.System, mem Memory, policy OMVPolicy) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{
+		cfg:      cfg,
+		llc:      newArray(cfg.LLC),
+		mem:      mem,
+		policy:   policy,
+		l1LatNS:  float64(cfg.L1.LatencyCycle) / cfg.CyclesPerNS(),
+		llcLatNS: float64(cfg.LLC.LatencyCycle) / cfg.CyclesPerNS(),
+	}
+	for i := 0; i < cfg.CPU.Cores; i++ {
+		h.l1 = append(h.l1, newArray(cfg.L1))
+	}
+	return h, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// ResetStats zeroes the counters.
+func (h *Hierarchy) ResetStats() { h.stats = Stats{} }
+
+func (h *Hierarchy) block(addr uint64) uint64 { return addr >> h.llc.lineBits }
+
+// Load services a load from the given core, returning the absolute time
+// its data is available.
+func (h *Hierarchy) Load(core int, addr uint64, now float64) float64 {
+	block := h.block(addr)
+	l1 := h.l1[core]
+	if l := l1.lookup(block); l != nil {
+		h.stats.L1Hits++
+		return now + h.l1LatNS
+	}
+	h.stats.L1Misses++
+	now += h.l1LatNS
+	if l := h.llc.lookup(block); l != nil {
+		h.stats.LLCHits++
+		done := now + h.llcLatNS
+		h.fillL1(core, block, l.pm, false, done)
+		return done
+	}
+	h.stats.LLCMisses++
+	now += h.llcLatNS
+	done := h.mem.Read(addr, now)
+	pm := h.mem.IsPM(addr)
+	h.fillLLC(block, pm, done, true /*fromMemory*/, false /*dirty*/)
+	h.fillL1(core, block, pm, false, done)
+	return done
+}
+
+// Store services a store (write-allocate): the line is brought into the
+// core's L1 and marked dirty. Returns the time the store retires from the
+// pipeline's view (stores are buffered, so this is near-immediate for
+// hits; misses pay the fill).
+func (h *Hierarchy) Store(core int, addr uint64, now float64) float64 {
+	block := h.block(addr)
+	l1 := h.l1[core]
+	h.invalidateOtherL1s(core, block)
+	if l := l1.lookup(block); l != nil {
+		h.stats.L1Hits++
+		l.dirty = true
+		return now + h.l1LatNS
+	}
+	h.stats.L1Misses++
+	now += h.l1LatNS
+	pm := h.mem.IsPM(addr)
+	if l := h.llc.lookup(block); l != nil {
+		h.stats.LLCHits++
+		done := now + h.llcLatNS
+		h.fillL1(core, block, l.pm, true, done)
+		return done
+	}
+	h.stats.LLCMisses++
+	now += h.llcLatNS
+	done := h.mem.Read(addr, now) // write-allocate fetch
+	h.fillLLC(block, pm, done, true, false)
+	h.fillL1(core, block, pm, true, done)
+	return done
+}
+
+// Clwb cleans a (possibly dirty) cacheline to persistent memory without
+// evicting it (the cacheline cleaning instruction of Sec V-D). Returns
+// the time the clean is accepted by the memory system.
+func (h *Hierarchy) Clwb(core int, addr uint64, now float64) float64 {
+	block := h.block(addr)
+	l1 := h.l1[core]
+	now += h.l1LatNS
+	if l := l1.lookup(block); l != nil && l.dirty {
+		l.dirty = false
+		return h.cleanThroughLLC(block, l.pm, now+h.llcLatNS)
+	}
+	// Not dirty in this L1; it may be dirty in the LLC.
+	if l := h.llc.lookup(block); l != nil && l.dirty {
+		return h.cleanLLCLine(l, now+h.llcLatNS)
+	}
+	return now
+}
+
+// invalidateOtherL1s models write-invalidate coherence for stores.
+func (h *Hierarchy) invalidateOtherL1s(core int, block uint64) {
+	for i, l1 := range h.l1 {
+		if i == core {
+			continue
+		}
+		for j := range l1.set(block) {
+			l := &l1.set(block)[j]
+			if l.valid && l.tag == block {
+				if l.dirty {
+					// Dirty data migrates into the LLC.
+					h.writebackToLLC(block, l.pm, 0)
+				}
+				l.valid = false
+			}
+		}
+	}
+}
+
+// fillL1 installs a block into a core's L1, writing back any dirty victim
+// into the LLC.
+func (h *Hierarchy) fillL1(core int, block uint64, pm, dirty bool, now float64) {
+	l1 := h.l1[core]
+	v := l1.victim(block)
+	if v.valid && v.dirty {
+		h.writebackToLLC(v.tag, v.pm, now)
+	}
+	*v = line{tag: block, valid: true, dirty: dirty, pm: pm}
+	l1.touch(v)
+}
+
+// fillLLC installs a block into the LLC. fromMemory sets the SAM bit
+// (the line equals off-chip memory). A dirty victim is written back to
+// memory; an OMV victim is silently dropped (it was a clean copy).
+func (h *Hierarchy) fillLLC(block uint64, pm bool, now float64, fromMemory, dirty bool) *line {
+	v := h.llc.victim(block)
+	if v.valid && v.dirty && !v.omv {
+		h.writebackToMemory(v.tag, v.pm, now)
+	}
+	*v = line{tag: block, valid: true, dirty: dirty, pm: pm, sam: fromMemory && h.policy == OMVPreserve && pm}
+	h.llc.touch(v)
+	return v
+}
+
+// writebackToLLC handles a dirty block arriving at the LLC from an L1.
+// If the matching LLC line has its SAM bit set, the old copy is preserved
+// as an OMV line and the dirty data takes a different way (Sec V-D).
+func (h *Hierarchy) writebackToLLC(block uint64, pm bool, now float64) {
+	if l := h.llc.lookup(block); l != nil {
+		if h.policy == OMVPreserve && pm && l.sam && !l.dirty {
+			// Preserve the old memory value: this line becomes the OMV
+			// copy; allocate a different way for the dirty data.
+			l.omv = true
+			l.sam = false
+			h.stats.OMVLinesCreated++
+			nl := h.fillLLC(block, pm, now, false, true)
+			nl.dirty = true
+			return
+		}
+		l.dirty = true
+		l.sam = false
+		return
+	}
+	// Non-inclusive hierarchy: the LLC may not hold the block; allocate.
+	h.fillLLC(block, pm, now, false, true)
+}
+
+// cleanThroughLLC handles a clwb'd dirty block passing from an L1 through
+// the LLC on its way to persistent memory. The LLC looks for a matching
+// line with SAM or OMV set to supply the old memory value (Sec V-D).
+func (h *Hierarchy) cleanThroughLLC(block uint64, pm bool, now float64) float64 {
+	omvHit := false
+	if l := h.llc.lookup(block); l != nil {
+		if l.sam && !l.dirty {
+			omvHit = true
+		} else if l.dirty {
+			// The LLC's own copy is dirty; its OMV line (if any) serves.
+			if o := h.llc.lookupOMV(block); o != nil {
+				omvHit = true
+				o.valid = false
+			}
+		}
+		// The cleaned data updates the LLC copy, which now equals memory.
+		l.dirty = false
+		l.sam = h.policy == OMVPreserve && pm
+	} else if o := h.llc.lookupOMV(block); o != nil {
+		omvHit = true
+		o.valid = false
+		// Install the cleaned block with SAM set.
+		h.fillLLC(block, pm, now, true, false)
+	}
+	return h.issueWrite(block, pm, now, omvHit, true)
+}
+
+// cleanLLCLine cleans a dirty LLC-resident line (clwb that missed L1).
+func (h *Hierarchy) cleanLLCLine(l *line, now float64) float64 {
+	omvHit := false
+	if o := h.llc.lookupOMV(l.tag); o != nil {
+		omvHit = true
+		o.valid = false
+	}
+	l.dirty = false
+	l.sam = h.policy == OMVPreserve && l.pm
+	return h.issueWrite(l.tag, l.pm, now, omvHit, true)
+}
+
+// writebackToMemory handles a dirty LLC line evicted to memory. The OMV
+// line in the same set supplies the old value when present.
+func (h *Hierarchy) writebackToMemory(block uint64, pm bool, now float64) {
+	omvHit := false
+	if o := h.llc.lookupOMV(block); o != nil {
+		omvHit = true
+		o.valid = false
+	}
+	h.issueWrite(block, pm, now, omvHit, false)
+}
+
+// issueWrite sends a block write to the memory controller, accounting OMV
+// statistics for persistent-memory writes.
+func (h *Hierarchy) issueWrite(block uint64, pm bool, now float64, omvHit, clean bool) float64 {
+	if clean {
+		h.stats.Cleans++
+	} else {
+		h.stats.Writebacks++
+	}
+	needOMV := false
+	if pm {
+		h.stats.PMWrites++
+		switch h.policy {
+		case OMVPreserve:
+			if omvHit {
+				h.stats.OMVHits++
+			} else {
+				h.stats.OMVMisses++
+				needOMV = true
+			}
+		case OMVAlwaysFetch:
+			h.stats.OMVMisses++
+			needOMV = true
+		}
+	}
+	return h.mem.Write(block<<h.llc.lineBits, now, needOMV)
+}
+
+// Occupancy reports cache-occupancy fractions for Fig 10: the fraction of
+// all cachelines in the hierarchy (LLC + every L1) that hold dirty
+// persistent-memory blocks, and the fraction of LLC lines that are OMV
+// copies.
+func (h *Hierarchy) Occupancy() (dirtyPMFrac, omvFrac float64) {
+	var total, dirtyPM, omv, llcTotal int
+	count := func(a *cacheArray, isLLC bool) {
+		for _, set := range a.sets {
+			for _, l := range set {
+				total++
+				if isLLC {
+					llcTotal++
+				}
+				if !l.valid {
+					continue
+				}
+				if l.dirty && l.pm && !l.omv {
+					dirtyPM++
+				}
+				if isLLC && l.omv {
+					omv++
+				}
+			}
+		}
+	}
+	for _, l1 := range h.l1 {
+		count(l1, false)
+	}
+	count(h.llc, true)
+	return float64(dirtyPM) / float64(total), float64(omv) / float64(llcTotal)
+}
+
+// Describe returns a human-readable summary of the configuration.
+func (h *Hierarchy) Describe() string {
+	return fmt.Sprintf("%d x L1(%dKB/%d-way) + LLC(%dMB/%d-way), OMV=%v",
+		len(h.l1), h.cfg.L1.SizeBytes>>10, h.cfg.L1.Ways,
+		h.cfg.LLC.SizeBytes>>20, h.cfg.LLC.Ways, h.policy == OMVPreserve)
+}

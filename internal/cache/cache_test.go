@@ -1,0 +1,280 @@
+package cache
+
+import (
+	"testing"
+
+	"chipkillpm/internal/config"
+)
+
+// fakeMem is a scripted cache.Memory with fixed latencies.
+type fakeMem struct {
+	pmBase    uint64
+	readLat   float64
+	reads     []uint64
+	writes    []uint64
+	needOMVs  []bool
+	writeFree float64
+}
+
+func (m *fakeMem) Read(addr uint64, now float64) float64 {
+	m.reads = append(m.reads, addr)
+	return now + m.readLat
+}
+
+func (m *fakeMem) Write(addr uint64, now float64, needOMV bool) float64 {
+	m.writes = append(m.writes, addr)
+	m.needOMVs = append(m.needOMVs, needOMV)
+	if m.writeFree > now {
+		return m.writeFree
+	}
+	return now
+}
+
+func (m *fakeMem) IsPM(addr uint64) bool { return addr >= m.pmBase }
+
+func smallSystem() config.System {
+	sys := config.TableI()
+	// Tiny caches make eviction behaviour testable: 4 sets x 2 ways L1,
+	// 4 sets x 4 ways LLC.
+	sys.L1 = config.Cache{Ways: 2, SizeBytes: 8 * 64, LatencyCycle: 1, LineBytes: 64}
+	sys.LLC = config.Cache{Ways: 4, SizeBytes: 16 * 64, LatencyCycle: 14, LineBytes: 64}
+	sys.CPU.Cores = 2
+	return sys
+}
+
+func newHierarchy(t *testing.T, policy OMVPolicy) (*Hierarchy, *fakeMem) {
+	t.Helper()
+	mem := &fakeMem{pmBase: 1 << 40, readLat: 250}
+	h, err := New(smallSystem(), mem, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, mem
+}
+
+const pmA = uint64(1) << 40
+
+func TestLoadMissFillsAndHits(t *testing.T) {
+	h, mem := newHierarchy(t, OMVOff)
+	d1 := h.Load(0, pmA, 0)
+	if d1 < 250 {
+		t.Errorf("miss latency %.1f, want >= 250", d1)
+	}
+	if len(mem.reads) != 1 {
+		t.Fatalf("reads=%d, want 1", len(mem.reads))
+	}
+	// Second access: L1 hit, no new memory read.
+	d2 := h.Load(0, pmA, 1000)
+	if d2-1000 > 1 {
+		t.Errorf("hit latency %.2f, want ~0.33 (1 cycle)", d2-1000)
+	}
+	if len(mem.reads) != 1 {
+		t.Error("hit went to memory")
+	}
+	st := h.Stats()
+	if st.L1Hits != 1 || st.L1Misses != 1 || st.LLCMisses != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestLLCHitAfterL1Eviction(t *testing.T) {
+	h, mem := newHierarchy(t, OMVOff)
+	h.Load(0, pmA, 0)
+	// Evict pmA from the 2-way L1 set by loading two same-set lines
+	// (set index repeats every 4 blocks -> stride 4*64).
+	h.Load(0, pmA+4*64, 100)
+	h.Load(0, pmA+8*64, 200)
+	reads := len(mem.reads)
+	h.Load(0, pmA, 300) // should hit LLC
+	if len(mem.reads) != reads {
+		t.Error("LLC hit went to memory")
+	}
+	if h.Stats().LLCHits == 0 {
+		t.Error("no LLC hit recorded")
+	}
+}
+
+func TestStoreWriteAllocateAndWriteback(t *testing.T) {
+	h, mem := newHierarchy(t, OMVOff)
+	h.Store(0, pmA, 0)
+	if len(mem.reads) != 1 {
+		t.Fatalf("write-allocate read missing: %d", len(mem.reads))
+	}
+	// Force the dirty line out of L1 and then out of the LLC.
+	for i := uint64(1); i <= 16; i++ {
+		h.Store(0, pmA+i*4*64, float64(i)*1000)
+	}
+	if len(mem.writes) == 0 {
+		t.Error("dirty eviction never wrote back")
+	}
+	if h.Stats().PMWrites == 0 {
+		t.Error("PM write not counted")
+	}
+}
+
+func TestClwbCleansDirtyLine(t *testing.T) {
+	h, mem := newHierarchy(t, OMVOff)
+	h.Store(0, pmA, 0)
+	d := h.Clwb(0, pmA, 1000)
+	if len(mem.writes) != 1 {
+		t.Fatalf("clwb wrote %d times, want 1", len(mem.writes))
+	}
+	if mem.writes[0] != pmA {
+		t.Errorf("clwb wrote %#x", mem.writes[0])
+	}
+	if d < 1000 {
+		t.Error("clwb completion before issue")
+	}
+	// A second clwb with no new dirtying is a no-op.
+	h.Clwb(0, pmA, 2000)
+	if len(mem.writes) != 1 {
+		t.Error("clean clwb wrote to memory")
+	}
+	if h.Stats().Cleans != 1 {
+		t.Errorf("Cleans=%d, want 1", h.Stats().Cleans)
+	}
+}
+
+func TestOMVHitOnEagerClean(t *testing.T) {
+	// Store (write-allocate fill sets SAM on the LLC copy), then clwb:
+	// the old value is in the LLC -> OMV hit, needOMV=false.
+	h, mem := newHierarchy(t, OMVPreserve)
+	h.Store(0, pmA, 0)
+	h.Clwb(0, pmA, 1000)
+	st := h.Stats()
+	if st.OMVHits != 1 || st.OMVMisses != 0 {
+		t.Errorf("OMV stats: %+v", st)
+	}
+	if mem.needOMVs[0] {
+		t.Error("needOMV set despite LLC-resident old value")
+	}
+	if st.OMVHitRate() != 1 {
+		t.Errorf("hit rate %.2f", st.OMVHitRate())
+	}
+}
+
+func TestOMVMissWhenLLCCopyEvicted(t *testing.T) {
+	// Store, thrash the LLC set so the SAM copy is evicted, then clwb:
+	// the old value is gone -> OMV miss, needOMV=true.
+	h, mem := newHierarchy(t, OMVPreserve)
+	h.Store(0, pmA, 0)
+	// Thrash the same LLC set (4 ways; set stride 4 blocks) with loads
+	// from a different core so core 0's dirty L1 line stays put.
+	for i := uint64(1); i <= 6; i++ {
+		h.Load(1, pmA+i*4*64, float64(i)*1000)
+	}
+	h.Clwb(0, pmA, 50000)
+	st := h.Stats()
+	if st.OMVMisses != 1 {
+		t.Errorf("OMV stats: %+v", st)
+	}
+	last := len(mem.needOMVs) - 1
+	if !mem.needOMVs[last] {
+		t.Error("needOMV not signalled to the controller")
+	}
+}
+
+func TestOMVLinePreservedOnDirtyWriteback(t *testing.T) {
+	// Fill a line from memory (SAM set), dirty it in L1, force the L1
+	// eviction: the LLC must keep the old copy as an OMV line and accept
+	// the dirty data in another way (Sec V-D).
+	h, _ := newHierarchy(t, OMVPreserve)
+	h.Store(0, pmA, 0)
+	// Evict from L1 (2-way, stride 4 blocks) with clean loads.
+	h.Load(0, pmA+4*64, 1000)
+	h.Load(0, pmA+8*64, 2000)
+	if h.Stats().OMVLinesCreated != 1 {
+		t.Errorf("OMVLinesCreated=%d, want 1", h.Stats().OMVLinesCreated)
+	}
+	_, omvFrac := h.Occupancy()
+	if omvFrac <= 0 {
+		t.Error("no OMV lines visible in occupancy")
+	}
+	// Writing the block back (LLC dirty eviction or clean) must consume
+	// the OMV line: clean via clwb of the LLC-resident dirty line.
+	h.Clwb(0, pmA, 50000)
+	st := h.Stats()
+	if st.OMVHits != 1 {
+		t.Errorf("OMV hit from preserved line missing: %+v", st)
+	}
+}
+
+func TestNoOMVMachineryInBaselineMode(t *testing.T) {
+	h, mem := newHierarchy(t, OMVOff)
+	h.Store(0, pmA, 0)
+	h.Load(0, pmA+4*64, 1000)
+	h.Load(0, pmA+8*64, 2000)
+	h.Clwb(0, pmA, 50000)
+	st := h.Stats()
+	if st.OMVLinesCreated != 0 || st.OMVHits != 0 || st.OMVMisses != 0 {
+		t.Errorf("baseline tracked OMV state: %+v", st)
+	}
+	for _, n := range mem.needOMVs {
+		if n {
+			t.Error("baseline requested OMV fetch")
+		}
+	}
+}
+
+func TestDRAMWritesBypassOMV(t *testing.T) {
+	h, mem := newHierarchy(t, OMVPreserve)
+	dram := uint64(0x10000)
+	h.Store(0, dram, 0)
+	// Evict through both levels.
+	for i := uint64(1); i <= 8; i++ {
+		h.Store(0, dram+i*4*64, float64(i)*1000)
+	}
+	st := h.Stats()
+	if st.OMVHits+st.OMVMisses != 0 {
+		t.Errorf("DRAM writes counted in OMV stats: %+v", st)
+	}
+	for _, n := range mem.needOMVs {
+		if n {
+			t.Error("DRAM write requested OMV")
+		}
+	}
+}
+
+func TestCoherenceInvalidateOnRemoteStore(t *testing.T) {
+	h, _ := newHierarchy(t, OMVOff)
+	h.Load(0, pmA, 0)
+	h.Store(1, pmA, 1000) // must invalidate core 0's copy
+	h.Load(0, pmA, 2000)
+	st := h.Stats()
+	// Core 0's second load must miss L1 (invalidated), hit LLC.
+	if st.L1Misses < 2 {
+		t.Errorf("expected an invalidation miss: %+v", st)
+	}
+}
+
+func TestOccupancyCountsDirtyPM(t *testing.T) {
+	h, _ := newHierarchy(t, OMVPreserve)
+	if d, _ := h.Occupancy(); d != 0 {
+		t.Errorf("initial occupancy %.3f", d)
+	}
+	h.Store(0, pmA, 0)
+	d, _ := h.Occupancy()
+	if d <= 0 {
+		t.Error("dirty PM line not counted")
+	}
+	h.Clwb(0, pmA, 1000)
+	d, _ = h.Occupancy()
+	if d != 0 {
+		t.Errorf("occupancy after clean %.4f, want 0", d)
+	}
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	bad := smallSystem()
+	bad.LLC.Ways = 0
+	if _, err := New(bad, &fakeMem{}, OMVOff); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	h, _ := newHierarchy(t, OMVPreserve)
+	if h.Describe() == "" {
+		t.Error("empty description")
+	}
+}

@@ -1,0 +1,114 @@
+// Package config holds the simulated system's parameters, mirroring the
+// paper's Table I and Section VI methodology.
+package config
+
+import "fmt"
+
+// CPU describes the simulated processor (Table I).
+type CPU struct {
+	Cores          int     // 4
+	FreqGHz        float64 // 3 GHz
+	IssueWidth     int     // 4-issue OOO
+	ROBEntries     int     // 168
+	CachelineBytes int     // 64
+}
+
+// Cache describes one cache level (Table I).
+type Cache struct {
+	Ways         int
+	SizeBytes    int
+	LatencyCycle int
+	LineBytes    int
+}
+
+// MemController describes the controller (Table I).
+type MemController struct {
+	ReadQueue      int     // 128 entries
+	WriteQueue     int     // 128 entries per channel
+	ClosePageNS    float64 // row closes after 50 ns inactivity (Sec VI)
+	FRFCFS         bool
+	WriteDrainHigh int // start draining writes above this queue depth
+	WriteDrainLow  int // stop draining below this depth
+}
+
+// DDRTiming describes channel timings. The NVRAM rank overrides TRCD and
+// TWR with the technology's read/write latencies (Sec VI).
+type DDRTiming struct {
+	BusMTps  float64 // mega-transfers per second (2400)
+	BusBytes int     // bus width in bytes (8)
+	TRCDNS   float64 // activate-to-read
+	TCASNS   float64 // column access
+	TRPNS    float64 // precharge
+	TWRNS    float64 // write recovery / write service
+	TBurstNS float64 // 64B burst duration
+}
+
+// System is the full configuration.
+type System struct {
+	CPU          CPU
+	L1           Cache
+	LLC          Cache
+	Controller   MemController
+	DRAM         DDRTiming
+	PM           DDRTiming // NVRAM rank; TRCD/TWR overridden per technology
+	BanksPerRank int
+	RowBytes     int // per-chip row data bytes (1 KB page on x8 chips); the rank row is 8x this
+}
+
+// TableI returns the paper's configuration: 4 cores at 3 GHz, 4-issue OOO
+// with a 168-entry ROB; 2-way 64 KB L1s at 1 cycle; 32-way 4 MB shared LLC
+// at 14 cycles; 128-entry read/write queues, closed-page FR-FCFS; one
+// 2400 MT/s channel with one DRAM rank and one persistent-memory rank,
+// 16 banks per rank.
+func TableI() System {
+	burst := 64.0 / (2400.0 * 1e6 * 8.0) * 1e9 // 64B over an 8B 2400MT/s bus, ns
+	ddr := DDRTiming{
+		BusMTps: 2400, BusBytes: 8,
+		TRCDNS: 14.16, TCASNS: 14.16, TRPNS: 14.16, TWRNS: 15,
+		TBurstNS: burst,
+	}
+	return System{
+		CPU: CPU{Cores: 4, FreqGHz: 3, IssueWidth: 4, ROBEntries: 168, CachelineBytes: 64},
+		L1:  Cache{Ways: 2, SizeBytes: 64 << 10, LatencyCycle: 1, LineBytes: 64},
+		LLC: Cache{Ways: 32, SizeBytes: 4 << 20, LatencyCycle: 14, LineBytes: 64},
+		Controller: MemController{
+			ReadQueue: 128, WriteQueue: 128, ClosePageNS: 50, FRFCFS: true,
+			WriteDrainHigh: 96, WriteDrainLow: 32,
+		},
+		DRAM:         ddr,
+		PM:           ddr, // TRCD/TWR set from the NVRAM technology
+		BanksPerRank: 16,
+		RowBytes:     1024,
+	}
+}
+
+// WithPMLatencies returns a copy with the persistent-memory rank's
+// activate (read) and write-recovery latencies set from an NVRAM
+// technology: tRCD = read latency, tWR = write latency (Sec VI).
+func (s System) WithPMLatencies(readNS, writeNS float64) System {
+	s.PM.TRCDNS = readNS
+	s.PM.TWRNS = writeNS
+	return s
+}
+
+// CyclesPerNS returns CPU cycles per nanosecond.
+func (s System) CyclesPerNS() float64 { return s.CPU.FreqGHz }
+
+// Validate sanity-checks the configuration.
+func (s System) Validate() error {
+	if s.CPU.Cores < 1 || s.CPU.FreqGHz <= 0 || s.CPU.IssueWidth < 1 || s.CPU.ROBEntries < 1 {
+		return fmt.Errorf("config: bad CPU: %+v", s.CPU)
+	}
+	for _, c := range []Cache{s.L1, s.LLC} {
+		if c.Ways < 1 || c.SizeBytes < c.Ways*c.LineBytes || c.LineBytes < 1 {
+			return fmt.Errorf("config: bad cache: %+v", c)
+		}
+		if (c.SizeBytes/(c.Ways*c.LineBytes))&(c.SizeBytes/(c.Ways*c.LineBytes)-1) != 0 {
+			return fmt.Errorf("config: cache sets not a power of two: %+v", c)
+		}
+	}
+	if s.BanksPerRank < 1 || s.RowBytes < 64 {
+		return fmt.Errorf("config: bad rank organisation")
+	}
+	return nil
+}

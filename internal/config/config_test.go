@@ -1,0 +1,76 @@
+package config
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableIMatchesPaper(t *testing.T) {
+	s := TableI()
+	if s.CPU.Cores != 4 || s.CPU.FreqGHz != 3 || s.CPU.IssueWidth != 4 || s.CPU.ROBEntries != 168 {
+		t.Errorf("CPU: %+v", s.CPU)
+	}
+	if s.L1.Ways != 2 || s.L1.SizeBytes != 64<<10 || s.L1.LatencyCycle != 1 {
+		t.Errorf("L1: %+v", s.L1)
+	}
+	if s.LLC.Ways != 32 || s.LLC.SizeBytes != 4<<20 || s.LLC.LatencyCycle != 14 {
+		t.Errorf("LLC: %+v", s.LLC)
+	}
+	if s.Controller.ReadQueue != 128 || s.Controller.WriteQueue != 128 {
+		t.Errorf("controller queues: %+v", s.Controller)
+	}
+	if s.Controller.ClosePageNS != 50 || !s.Controller.FRFCFS {
+		t.Errorf("page policy: %+v", s.Controller)
+	}
+	if s.BanksPerRank != 16 {
+		t.Errorf("banks: %d", s.BanksPerRank)
+	}
+	if s.DRAM.BusMTps != 2400 {
+		t.Errorf("bus: %+v", s.DRAM)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBurstDuration(t *testing.T) {
+	s := TableI()
+	// 64B over an 8B-wide 2400 MT/s bus: 8 beats at 2.4 GT/s = 3.33 ns.
+	if math.Abs(s.DRAM.TBurstNS-3.333) > 0.01 {
+		t.Errorf("TBurst=%.3f, want 3.333", s.DRAM.TBurstNS)
+	}
+}
+
+func TestWithPMLatencies(t *testing.T) {
+	s := TableI().WithPMLatencies(120, 300)
+	if s.PM.TRCDNS != 120 || s.PM.TWRNS != 300 {
+		t.Errorf("PM latencies not applied: %+v", s.PM)
+	}
+	if s.DRAM.TRCDNS == 120 {
+		t.Error("DRAM timings must not change")
+	}
+}
+
+func TestCyclesPerNS(t *testing.T) {
+	if TableI().CyclesPerNS() != 3 {
+		t.Error("3 GHz should be 3 cycles/ns")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]func(*System){
+		"cores":      func(s *System) { s.CPU.Cores = 0 },
+		"cacheWays":  func(s *System) { s.L1.Ways = 0 },
+		"cacheSets":  func(s *System) { s.LLC.SizeBytes = 3 * s.LLC.Ways * s.LLC.LineBytes },
+		"banks":      func(s *System) { s.BanksPerRank = 0 },
+		"rowBytes":   func(s *System) { s.RowBytes = 8 },
+		"issueWidth": func(s *System) { s.CPU.IssueWidth = 0 },
+	}
+	for name, mutate := range cases {
+		s := TableI()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"chipkillpm/internal/bch"
+)
+
+// BitOnlyMemory is the paper's comparison baseline (Secs III-A and VII):
+// every 64 B block carries its own 14-bit-error-correcting BCH code (28 %
+// storage cost), which handles the 1e-3 boot-time RBER but offers no chip
+// failure protection — a single failed chip produces uncorrectable (or
+// worse, silently miscorrected) blocks.
+//
+// The type is a self-contained functional model used by the reliability
+// experiments and examples; the performance baseline lives in the timing
+// simulator, where "baseline" simply means no write-latency inflation, no
+// OMV traffic and no VLEW fallback.
+type BitOnlyMemory struct {
+	blockBytes int
+	code       *bch.Code
+	data       []byte // blocks * blockBytes
+	parity     []byte // blocks * code.ParityBytes()
+	rng        *rand.Rand
+	blocks     int64
+
+	Reads, Corrected, Uncorrectable int64
+}
+
+// ErrBaselineUncorrectable mirrors ErrUncorrectable for the baseline.
+var ErrBaselineUncorrectable = errors.New("core: baseline uncorrectable error")
+
+// NewBitOnlyMemory builds a baseline memory of the given capacity. The
+// 14-EC code over 512 data bits follows Sec III-A.
+func NewBitOnlyMemory(blocks int64, seed int64) (*BitOnlyMemory, error) {
+	if blocks < 1 {
+		return nil, fmt.Errorf("core: baseline needs at least 1 block")
+	}
+	code, err := bch.New(10, 512, 14)
+	if err != nil {
+		return nil, err
+	}
+	return &BitOnlyMemory{
+		blockBytes: 64,
+		code:       code,
+		data:       make([]byte, blocks*64),
+		parity:     make([]byte, blocks*int64(code.ParityBytes())),
+		rng:        rand.New(rand.NewSource(seed)),
+		blocks:     blocks,
+	}, nil
+}
+
+// Blocks returns the capacity in blocks.
+func (m *BitOnlyMemory) Blocks() int64 { return m.blocks }
+
+// StorageOverhead returns the baseline's redundancy ratio (~28 %).
+func (m *BitOnlyMemory) StorageOverhead() float64 {
+	return float64(bch.ParityBitsEstimate(512, 14)) / 512.0
+}
+
+func (m *BitOnlyMemory) blockSlices(b int64) (data, parity []byte) {
+	if b < 0 || b >= m.blocks {
+		panic(fmt.Sprintf("core: baseline block %d out of range", b))
+	}
+	pb := int64(m.code.ParityBytes())
+	return m.data[b*64 : (b+1)*64], m.parity[b*pb : (b+1)*pb]
+}
+
+// Write stores a block and its BCH parity.
+func (m *BitOnlyMemory) Write(b int64, data []byte) {
+	if len(data) != m.blockBytes {
+		panic("core: baseline write size mismatch")
+	}
+	d, p := m.blockSlices(b)
+	copy(d, data)
+	copy(p, m.code.Encode(data))
+}
+
+// Read corrects and returns a block. Miscorrections (possible beyond 14
+// errors) are returned as if successful — that is the baseline's SDC risk.
+func (m *BitOnlyMemory) Read(b int64) ([]byte, error) {
+	m.Reads++
+	d, p := m.blockSlices(b)
+	data := append([]byte(nil), d...)
+	parity := append([]byte(nil), p...)
+	n, err := m.code.Decode(data, parity)
+	if err != nil {
+		m.Uncorrectable++
+		return nil, fmt.Errorf("block %d: %w", b, ErrBaselineUncorrectable)
+	}
+	if n > 0 {
+		m.Corrected += int64(n)
+	}
+	return data, nil
+}
+
+// InjectRetentionErrors flips stored bits (data and parity) with the given
+// probability, as Chip.InjectRetentionErrors does.
+func (m *BitOnlyMemory) InjectRetentionErrors(rber float64) int {
+	flips := 0
+	for _, region := range [][]byte{m.data, m.parity} {
+		bits := int64(len(region)) * 8
+		n := sampleBinomialBaseline(m.rng, bits, rber)
+		for i := int64(0); i < n; i++ {
+			p := m.rng.Int63n(bits)
+			region[p/8] ^= 1 << uint(p%8)
+		}
+		flips += int(n)
+	}
+	return flips
+}
+
+// FailChipSlice emulates a chip failure's effect on the baseline: in a
+// 9-chip-less layout there is no chip to lose, so the paper's comparison
+// is the 8-chip data layout where chip i held bytes [i*8, i*8+8) of every
+// block. Those bytes become garbage.
+func (m *BitOnlyMemory) FailChipSlice(chip int) {
+	if chip < 0 || chip >= 8 {
+		panic("core: baseline chip index out of range")
+	}
+	for b := int64(0); b < m.blocks; b++ {
+		d, _ := m.blockSlices(b)
+		m.rng.Read(d[chip*8 : (chip+1)*8])
+	}
+}
+
+func sampleBinomialBaseline(rng *rand.Rand, n int64, p float64) int64 {
+	if p <= 0 || n <= 0 {
+		return 0
+	}
+	count := int64(0)
+	pos := int64(0)
+	for {
+		u := rng.Float64()
+		skip := int64(math.Log(u) / math.Log1p(-p))
+		pos += skip + 1
+		if pos > n {
+			return count
+		}
+		count++
+	}
+}

@@ -1,0 +1,340 @@
+// Package core implements the paper's primary contribution: an efficient
+// chipkill-correct scheme for dense NVRAM-based persistent memory that
+// decouples boot-time error correction from runtime error correction.
+//
+// At boot (Sec V-B), when the memory may have gone a week to a year
+// without refresh and the raw bit error rate is high, the controller
+// scrubs every VLEW — a 22-bit-error-correcting BCH word spanning 256 B of
+// per-chip data — and uses the parity chip's per-block Reed-Solomon check
+// bytes to reconstruct any chip whose VLEWs are uncorrectable.
+//
+// At runtime (Sec V-C), the controller reuses each block's eight RS check
+// bytes to opportunistically correct bit errors, accepting the result only
+// when at most two corrections were needed (miscorrections overwhelmingly
+// surface as many corrections); otherwise it falls back to fetching the
+// VLEWs, leaving the RS code free to handle chip failures.
+//
+// On writes (Sec V-D), the controller sends the bitwise XOR of old and new
+// data so NVRAM chips can recover the new data internally and fold the
+// VLEW code-bit update into their ECC Update Registerfiles; the old memory
+// value comes from the LLC's OMV-preserving cache when possible.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"chipkillpm/internal/rank"
+	"chipkillpm/internal/rs"
+)
+
+// ErrUncorrectable reports a detected-but-uncorrectable error (DUE): the
+// block's data could not be recovered by any layer of the scheme.
+var ErrUncorrectable = errors.New("core: uncorrectable error")
+
+// ErrBlockDisabled reports access to a block retired for wear-out.
+var ErrBlockDisabled = errors.New("core: block is disabled")
+
+// OMVProvider supplies old memory values (OMVs) of dirty persistent-memory
+// blocks, normally the LLC with SAM/OMV tag bits (Sec V-D). A provider
+// returning (nil, false) forces the controller to fetch the OMV from
+// memory, paying the read-modify-write bandwidth.
+type OMVProvider interface {
+	// OMV returns the block's old memory value if the provider holds it.
+	OMV(block int64) ([]byte, bool)
+}
+
+// NoOMV is an OMVProvider that never hits; every write pays an OMV fetch
+// from memory. Useful as an ablation baseline.
+type NoOMV struct{}
+
+// OMV implements OMVProvider.
+func (NoOMV) OMV(int64) ([]byte, bool) { return nil, false }
+
+// Stats counts controller activity. BlockFetches approximates bus traffic
+// in 64B-block transfers, the unit behind the paper's bandwidth-overhead
+// numbers.
+type Stats struct {
+	Reads  int64
+	Writes int64
+
+	// Runtime read outcomes (Fig 9).
+	ReadsClean        int64 // no RS corrections needed
+	ReadsRSCorrected  int64 // accepted opportunistic RS correction (<= threshold)
+	ReadsVLEWFallback int64 // exceeded threshold or RS-uncorrectable; VLEWs fetched
+
+	BitsCorrectedRS   int64 // symbols corrected by accepted RS decodes
+	BitsCorrectedVLEW int64 // bits corrected through VLEW fallback/scrub
+
+	ChipFailuresCorrected int64
+	Uncorrectable         int64
+
+	// Write path.
+	OMVHits   int64 // old value supplied by the LLC
+	OMVMisses int64 // old value fetched from memory (extra read + send-back)
+
+	// Bus traffic in block transfers.
+	BlockFetches int64 // reads issued to the rank, incl. VLEW fetches
+	BlockWrites  int64 // write transfers to the rank
+
+	// Boot scrub.
+	ScrubbedVLEWs      int64
+	ScrubCorrections   int64 // bit corrections applied during scrub
+	ScrubUncorrectable int64
+}
+
+// Config tunes the controller.
+type Config struct {
+	// Threshold is the maximum number of RS corrections accepted at
+	// runtime before falling back to VLEWs (2 in the paper, Sec V-C).
+	Threshold int
+	// WriteBackVLEWCorrections re-writes blocks repaired via the VLEW
+	// fallback path, scrubbing their errors (off in the paper's model,
+	// which assumes no free scrubbing; exposed for ablation).
+	WriteBackVLEWCorrections bool
+}
+
+// DefaultConfig returns the paper's settings.
+func DefaultConfig() Config { return Config{Threshold: 2} }
+
+// Controller drives one persistent-memory rank with the proposed scheme.
+// It is not safe for concurrent use, mirroring a per-channel controller.
+type Controller struct {
+	rank     *rank.Rank
+	rsCode   *rs.Code
+	cfg      Config
+	omv      OMVProvider
+	disabled map[int64]bool
+	stats    Stats
+
+	// Degraded (remapped) mode, Sec V-E: the failed data chip's contents
+	// live in the parity chip and VLEWs are striped across the rank.
+	degraded   bool
+	failedChip int
+}
+
+// NewController wires a controller to a rank. The rank must use the
+// paper's 8-byte chip access so that one block carries 64 data bytes and 8
+// RS check bytes. omv may be nil, meaning writes always fetch OMVs from
+// memory.
+func NewController(r *rank.Rank, cfg Config, omv OMVProvider) (*Controller, error) {
+	bb := r.Config().BlockBytes()
+	checkBytes := r.Config().ChipAccessBytes
+	code, err := rs.New(bb, checkBytes)
+	if err != nil {
+		return nil, fmt.Errorf("core: sizing per-block RS: %w", err)
+	}
+	if cfg.Threshold < 0 || cfg.Threshold > code.MaxErrors() {
+		return nil, fmt.Errorf("core: threshold %d outside [0,%d]", cfg.Threshold, code.MaxErrors())
+	}
+	if omv == nil {
+		omv = NoOMV{}
+	}
+	return &Controller{
+		rank:     r,
+		rsCode:   code,
+		cfg:      cfg,
+		omv:      omv,
+		disabled: make(map[int64]bool),
+	}, nil
+}
+
+// Rank returns the underlying rank.
+func (c *Controller) Rank() *rank.Rank { return c.rank }
+
+// RS returns the per-block Reed-Solomon code.
+func (c *Controller) RS() *rs.Code { return c.rsCode }
+
+// Stats returns a snapshot of the controller's counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters (e.g. after warmup).
+func (c *Controller) ResetStats() { c.stats = Stats{} }
+
+// DisableBlock retires a worn-out block (Sec V-E). The VLEW code bits are
+// updated as if the block's physical bits were zero, keeping the VLEW
+// decodable for its surviving blocks.
+func (c *Controller) DisableBlock(block int64) {
+	if c.disabled[block] {
+		return
+	}
+	// Zero the block's contribution so VLEW code bits stay consistent:
+	// writing zeros via the normal XOR path updates data and code bits
+	// together.
+	if data, err := c.readForInternalUse(block); err == nil {
+		c.writeDelta(block, data) // delta = current XOR zero = current
+	}
+	c.disabled[block] = true
+}
+
+// BlockDisabled reports whether a block has been retired.
+func (c *Controller) BlockDisabled(block int64) bool { return c.disabled[block] }
+
+// ReadBlock implements the runtime read path (Fig 9): RS-check the block,
+// accept opportunistic correction up to the threshold, otherwise fall back
+// to VLEW correction, and treat a VLEW-uncorrectable chip as failed.
+func (c *Controller) ReadBlock(block int64) ([]byte, error) {
+	if c.disabled[block] {
+		return nil, fmt.Errorf("block %d: %w", block, ErrBlockDisabled)
+	}
+	c.stats.Reads++
+	if c.degraded {
+		return c.readDegraded(block)
+	}
+	return c.readCorrected(block)
+}
+
+// readForInternalUse reads and corrects a block without counting it as a
+// demand read.
+func (c *Controller) readForInternalUse(block int64) ([]byte, error) {
+	return c.readCorrected(block)
+}
+
+func (c *Controller) readCorrected(block int64) ([]byte, error) {
+	data, check := c.rank.ReadBlockRaw(block)
+	c.stats.BlockFetches++
+	corrections, err := c.rsCode.DecodeLimited(data, check, c.cfg.Threshold)
+	switch {
+	case err == nil && len(corrections) == 0:
+		c.stats.ReadsClean++
+		return data, nil
+	case err == nil:
+		c.stats.ReadsRSCorrected++
+		c.stats.BitsCorrectedRS += int64(len(corrections))
+		return data, nil
+	}
+	// Threshold exceeded or RS-uncorrectable: VLEW fallback (Sec V-C).
+	c.stats.ReadsVLEWFallback++
+	return c.vlewCorrectBlock(block)
+}
+
+// vlewCorrectBlock corrects one block through the VLEWs of every chip,
+// then lets the per-block RS handle any chip whose VLEW was uncorrectable
+// (a chip-level fault) via erasure correction.
+func (c *Controller) vlewCorrectBlock(block int64) ([]byte, error) {
+	rcfg := c.rank.Config()
+	loc := c.rank.Locate(block)
+	v := loc.VLEWIndex(rcfg.Geometry.VLEWDataBytes)
+	inOff := loc.Col % rcfg.Geometry.VLEWDataBytes
+	n := rcfg.ChipAccessBytes
+	code := rcfg.VLEWCode
+
+	// Fetching a VLEW costs its data blocks plus code transfer blocks for
+	// each chip in lockstep; the paper counts 36 extra block transfers.
+	c.stats.BlockFetches += int64(rcfg.Geometry.VLEWDataBytes/n) +
+		int64((rcfg.Geometry.VLEWCodeBytes+n-1)/n)
+
+	data := make([]byte, rcfg.BlockBytes())
+	var check []byte
+	var failedChips []int
+	for ci := 0; ci < c.rank.NumChips(); ci++ {
+		chip := c.rank.Chip(ci)
+		vData, vCode := chip.ReadVLEW(loc.Bank, loc.Row, v)
+		fixed, derr := code.Decode(vData, vCode[:code.ParityBytes()])
+		if derr != nil {
+			failedChips = append(failedChips, ci)
+			continue
+		}
+		c.stats.BitsCorrectedVLEW += int64(fixed)
+		if ci == c.rank.ParityChipIndex() {
+			check = append([]byte(nil), vData[inOff:inOff+n]...)
+		} else {
+			copy(data[ci*n:(ci+1)*n], vData[inOff:inOff+n])
+		}
+	}
+
+	switch len(failedChips) {
+	case 0:
+		// All chips' bit errors corrected; verify with RS for safety.
+		if corr, err := c.rsCode.Decode(data, check, nil); err == nil {
+			c.stats.BitsCorrectedRS += int64(len(corr))
+		} else {
+			c.stats.Uncorrectable++
+			return nil, fmt.Errorf("block %d: VLEW-corrected data fails RS: %w", block, ErrUncorrectable)
+		}
+	case 1:
+		ci := failedChips[0]
+		c.stats.ChipFailuresCorrected++
+		if ci == c.rank.ParityChipIndex() {
+			// Data chips are fine; the check bytes are lost but the data
+			// is already corrected.
+			break
+		}
+		// Erase the failed chip's bytes and reconstruct via RS.
+		erasures := make([]int, n)
+		for i := 0; i < n; i++ {
+			erasures[i] = ci*n + i
+		}
+		if check == nil {
+			c.stats.Uncorrectable++
+			return nil, fmt.Errorf("block %d: chip %d failed and parity unavailable: %w", block, ci, ErrUncorrectable)
+		}
+		if _, err := c.rsCode.Decode(data, check, erasures); err != nil {
+			c.stats.Uncorrectable++
+			return nil, fmt.Errorf("block %d: erasure correction failed: %w", block, ErrUncorrectable)
+		}
+	default:
+		c.stats.Uncorrectable++
+		return nil, fmt.Errorf("block %d: %d chips uncorrectable: %w", block, len(failedChips), ErrUncorrectable)
+	}
+
+	if c.cfg.WriteBackVLEWCorrections {
+		c.rank.WriteBlockRaw(block, data, c.rsCode.Encode(data))
+		c.stats.BlockWrites++
+	}
+	return data, nil
+}
+
+// WriteBlock implements the runtime write path (Fig 12): obtain the old
+// memory value (from the LLC's OMV store when possible, otherwise from
+// memory with full correction), then send the bitwise sum of old and new
+// data — and of old and new RS check bytes — to the rank.
+func (c *Controller) WriteBlock(block int64, newData []byte) error {
+	if len(newData) != c.rank.Config().BlockBytes() {
+		return fmt.Errorf("core: WriteBlock: got %d bytes, want %d", len(newData), c.rank.Config().BlockBytes())
+	}
+	if c.disabled[block] {
+		return fmt.Errorf("block %d: %w", block, ErrBlockDisabled)
+	}
+	c.stats.Writes++
+	if c.degraded {
+		return c.writeDegraded(block, newData)
+	}
+	old, hit := c.omv.OMV(block)
+	if hit {
+		c.stats.OMVHits++
+	} else {
+		c.stats.OMVMisses++
+		var err error
+		old, err = c.readForInternalUse(block)
+		if err != nil {
+			return fmt.Errorf("core: fetching OMV for block %d: %w", block, err)
+		}
+	}
+	delta := make([]byte, len(newData))
+	for i := range delta {
+		delta[i] = old[i] ^ newData[i]
+	}
+	c.writeDelta(block, delta)
+	return nil
+}
+
+// writeDelta sends a data delta and the matching RS check delta (linear:
+// check(old) XOR check(new) = check(old XOR new)) to the rank as one
+// bitwise-sum write.
+func (c *Controller) writeDelta(block int64, delta []byte) {
+	checkDelta := c.rsCode.Encode(delta)
+	c.rank.WriteBlockXOR(block, delta, checkDelta)
+	c.stats.BlockWrites++
+}
+
+// WriteBlockInitial writes a block conventionally (raw data on the bus),
+// used to populate memory before measurement and by scrub write-back.
+func (c *Controller) WriteBlockInitial(block int64, data []byte) error {
+	if len(data) != c.rank.Config().BlockBytes() {
+		return fmt.Errorf("core: WriteBlockInitial: got %d bytes, want %d", len(data), c.rank.Config().BlockBytes())
+	}
+	c.rank.WriteBlockRaw(block, data, c.rsCode.Encode(data))
+	c.stats.BlockWrites++
+	return nil
+}

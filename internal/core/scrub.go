@@ -1,0 +1,191 @@
+package core
+
+import "fmt"
+
+// ScrubReport summarises a boot-time scrub (Sec V-B).
+type ScrubReport struct {
+	VLEWsScrubbed   int64
+	BitsCorrected   int64
+	ChipsFailed     []int // chips whose VLEWs were uncorrectable
+	ChipsRebuilt    []int // failed chips reconstructed via RS erasure / re-encode
+	BlocksRebuilt   int64
+	Unrecoverable   bool  // more failures than the scheme tolerates
+	BusBlockFetches int64 // block transfers the scrub cost
+}
+
+// BootScrub fetches and decodes every VLEW on every chip, writing
+// corrected contents back. A data chip with uncorrectable VLEWs is treated
+// as failed and rebuilt block-by-block through Reed-Solomon erasure
+// correction using the parity chip; an uncorrectable parity chip is
+// rebuilt by re-encoding the (corrected) data chips. Two or more failed
+// chips exceed the scheme's capability.
+func (c *Controller) BootScrub() ScrubReport {
+	var rep ScrubReport
+	r := c.rank
+	rcfg := r.Config()
+	g := rcfg.Geometry
+	code := rcfg.VLEWCode
+	r.CloseAllRows()
+
+	uncorrectablePerChip := make([]int64, r.NumChips())
+	for ci := 0; ci < r.NumChips(); ci++ {
+		chip := r.Chip(ci)
+		if !chip.Healthy() {
+			uncorrectablePerChip[ci] = 1 // known-dead chip
+			continue
+		}
+		for bank := 0; bank < g.Banks; bank++ {
+			for row := 0; row < g.RowsPerBank; row++ {
+				for v := 0; v < g.VLEWsPerRow(); v++ {
+					rep.VLEWsScrubbed++
+					rep.BusBlockFetches += int64(g.VLEWDataBytes/rcfg.ChipAccessBytes) / int64(rcfg.DataChips)
+					data, vcode := chip.ReadVLEW(bank, row, v)
+					fixed, err := code.Decode(data, vcode[:code.ParityBytes()])
+					if err != nil {
+						uncorrectablePerChip[ci]++
+						continue
+					}
+					if fixed > 0 {
+						rep.BitsCorrected += int64(fixed)
+						chip.WriteVLEW(bank, row, v, data, vcode)
+					}
+				}
+			}
+		}
+	}
+	c.stats.ScrubCorrections += rep.BitsCorrected
+
+	for ci, n := range uncorrectablePerChip {
+		if n > 0 {
+			rep.ChipsFailed = append(rep.ChipsFailed, ci)
+		}
+	}
+	c.stats.ScrubbedVLEWs += rep.VLEWsScrubbed
+
+	switch len(rep.ChipsFailed) {
+	case 0:
+		return rep
+	case 1:
+		ci := rep.ChipsFailed[0]
+		if ci == r.ParityChipIndex() {
+			c.rebuildParityChip(&rep)
+		} else {
+			c.rebuildDataChip(ci, &rep)
+		}
+		c.stats.ChipFailuresCorrected++
+		rep.ChipsRebuilt = append(rep.ChipsRebuilt, ci)
+		return rep
+	default:
+		rep.Unrecoverable = true
+		c.stats.Uncorrectable++
+		return rep
+	}
+}
+
+// rebuildDataChip reconstructs every block's slice on a failed data chip
+// via RS erasure correction over the (already scrubbed) healthy chips and
+// parity chip, then writes the reconstructed contents into the repaired
+// device and re-encodes its VLEW code bits.
+func (c *Controller) rebuildDataChip(ci int, rep *ScrubReport) {
+	r := c.rank
+	rcfg := r.Config()
+	n := rcfg.ChipAccessBytes
+	chip := r.Chip(ci)
+	chip.Repair()
+
+	erasures := make([]int, n)
+	for i := 0; i < n; i++ {
+		erasures[i] = ci*n + i
+	}
+	for b := int64(0); b < r.Blocks(); b++ {
+		data, check := r.ReadBlockRaw(b)
+		rep.BusBlockFetches++
+		// Zero the failed chip's garbage before erasure correction; the
+		// freshly repaired chip reads as zeros already, but be explicit.
+		for i := ci * n; i < (ci+1)*n; i++ {
+			data[i] = 0
+		}
+		if _, err := c.rsCode.Decode(data, check, erasures); err != nil {
+			// Residual errors beyond the erasure budget (should not
+			// happen after a successful scrub of the healthy chips).
+			rep.Unrecoverable = true
+			c.stats.Uncorrectable++
+			continue
+		}
+		loc := r.Locate(b)
+		chip.WriteData(loc.Bank, loc.Row, loc.Col, data[ci*n:(ci+1)*n])
+		rep.BlocksRebuilt++
+	}
+}
+
+// rebuildParityChip recomputes every block's RS check bytes from the
+// scrubbed data chips (Sec V-B: "the memory controller recalculates the
+// parity values in the parity chip").
+func (c *Controller) rebuildParityChip(rep *ScrubReport) {
+	r := c.rank
+	chip := r.Chip(r.ParityChipIndex())
+	chip.Repair()
+	for b := int64(0); b < r.Blocks(); b++ {
+		data, _ := r.ReadBlockRaw(b)
+		rep.BusBlockFetches++
+		loc := r.Locate(b)
+		chip.WriteData(loc.Bank, loc.Row, loc.Col, c.rsCode.Encode(data))
+		rep.BlocksRebuilt++
+	}
+}
+
+// String renders the report.
+func (r ScrubReport) String() string {
+	return fmt.Sprintf("scrub: %d VLEWs, %d bits corrected, failed chips %v, rebuilt %v (%d blocks), unrecoverable=%v",
+		r.VLEWsScrubbed, r.BitsCorrected, r.ChipsFailed, r.ChipsRebuilt, r.BlocksRebuilt, r.Unrecoverable)
+}
+
+// PatrolScrub incrementally scrubs `count` VLEW groups starting at the
+// given scan position, returning the next position. Runtime patrol
+// scrubbing (refresh) bounds how long cells sit unrefreshed and therefore
+// the runtime RBER (Sec IV: refreshing once per hour holds 3-bit PCM at
+// 2e-4); a background task calling PatrolScrub in a loop implements the
+// refresh policy without the bus-saturating full-memory sweeps the paper
+// warns about.
+//
+// The position encodes (chip, bank, row, vlew) linearly; callers treat it
+// as opaque and wrap at TotalPatrolUnits.
+func (c *Controller) PatrolScrub(pos int64, count int) (next int64, corrected int64) {
+	r := c.rank
+	g := r.Config().Geometry
+	code := r.Config().VLEWCode
+	total := c.TotalPatrolUnits()
+	for i := 0; i < count; i++ {
+		p := (pos + int64(i)) % total
+		vpr := int64(g.VLEWsPerRow())
+		chip := r.Chip(int(p / (int64(g.Banks) * int64(g.RowsPerBank) * vpr)))
+		rem := p % (int64(g.Banks) * int64(g.RowsPerBank) * vpr)
+		bank := int(rem / (int64(g.RowsPerBank) * vpr))
+		rem %= int64(g.RowsPerBank) * vpr
+		row := int(rem / vpr)
+		v := int(rem % vpr)
+		if !chip.Healthy() {
+			continue
+		}
+		data, vcode := chip.ReadVLEW(bank, row, v)
+		fixed, err := code.Decode(data, vcode[:code.ParityBytes()])
+		if err != nil {
+			c.stats.ScrubUncorrectable++
+			continue
+		}
+		if fixed > 0 {
+			chip.WriteVLEW(bank, row, v, data, vcode)
+			corrected += int64(fixed)
+		}
+		c.stats.ScrubbedVLEWs++
+	}
+	c.stats.ScrubCorrections += corrected
+	return (pos + int64(count)) % total, corrected
+}
+
+// TotalPatrolUnits returns the number of patrol positions (VLEWs across
+// all chips).
+func (c *Controller) TotalPatrolUnits() int64 {
+	g := c.rank.Config().Geometry
+	return int64(c.rank.NumChips()) * int64(g.Banks) * int64(g.RowsPerBank) * int64(g.VLEWsPerRow())
+}

@@ -1,0 +1,163 @@
+// Package cpu is a trace-driven out-of-order core timing model: 4-wide
+// issue, a 168-entry reorder buffer (Table I), load MLP bounded by the ROB
+// window, buffered stores, and retirement-blocking cacheline cleans (the
+// clwb+fence idiom persistent-memory applications use).
+//
+// The model is deliberately simple — an interval-style approximation — but
+// it captures the effects the paper's evaluation hinges on: load-latency
+// sensitivity bounded by the ROB, write-latency sensitivity through write-
+// queue backpressure and bank occupancy, and serialisation of dependent
+// (pointer-chasing) loads.
+package cpu
+
+import "chipkillpm/internal/config"
+
+// Kind classifies a trace operation.
+type Kind uint8
+
+// Trace operation kinds.
+const (
+	Compute Kind = iota // N non-memory instructions
+	Load
+	Store
+	Clwb // cacheline clean to persistent memory
+)
+
+// Op is one trace operation. Memory ops count as one instruction;
+// Compute ops count as N.
+type Op struct {
+	Kind Kind
+	Addr uint64
+	N    int  // instruction count for Compute (>=1)
+	Dep  bool // this load depends on the previous load (pointer chasing)
+}
+
+// MemorySystem is the core's interface to the cache hierarchy.
+type MemorySystem interface {
+	Load(core int, addr uint64, nowNS float64) (doneNS float64)
+	Store(core int, addr uint64, nowNS float64) (doneNS float64)
+	Clwb(core int, addr uint64, nowNS float64) (doneNS float64)
+}
+
+// Core models one hardware context.
+type Core struct {
+	id  int
+	cfg config.CPU
+	mem MemorySystem
+
+	nsPerCycle float64
+	issueNS    float64 // ns per instruction at full width
+
+	// robRetire is a circular buffer of the last ROBEntries instruction
+	// retire times; an instruction cannot fetch before the instruction
+	// ROBEntries ahead of it has retired.
+	robRetire []float64
+	robHead   int
+
+	fetch        float64 // next fetch time
+	lastRetire   float64
+	lastLoadDone float64
+
+	instructions int64
+	loads        int64
+	stores       int64
+	cleans       int64
+}
+
+// NewCore builds a core.
+func NewCore(id int, cfg config.CPU, mem MemorySystem) *Core {
+	return &Core{
+		id:         id,
+		cfg:        cfg,
+		mem:        mem,
+		nsPerCycle: 1.0 / cfg.FreqGHz,
+		issueNS:    1.0 / (cfg.FreqGHz * float64(cfg.IssueWidth)),
+		robRetire:  make([]float64, cfg.ROBEntries),
+	}
+}
+
+// Now returns the core's current time (its next fetch time), in ns.
+func (c *Core) Now() float64 { return c.fetch }
+
+// Instructions returns the number of instructions retired.
+func (c *Core) Instructions() int64 { return c.instructions }
+
+// Counts returns (loads, stores, cleans) executed.
+func (c *Core) Counts() (loads, stores, cleans int64) {
+	return c.loads, c.stores, c.cleans
+}
+
+// retireOne records one instruction's retirement and returns the ROB
+// constraint for the next fetch.
+func (c *Core) retireOne(t float64) {
+	if t < c.lastRetire {
+		t = c.lastRetire
+	}
+	c.lastRetire = t
+	c.robRetire[c.robHead] = t
+	c.robHead = (c.robHead + 1) % len(c.robRetire)
+	c.instructions++
+}
+
+// robConstraint returns the earliest time the next instruction may occupy
+// a ROB slot: when the instruction ROBEntries earlier retired.
+func (c *Core) robConstraint() float64 { return c.robRetire[c.robHead] }
+
+// Step executes one trace operation, advancing the core's clock.
+func (c *Core) Step(op Op) {
+	switch op.Kind {
+	case Compute:
+		n := op.N
+		if n < 1 {
+			n = 1
+		}
+		// Fetch/retire n instructions at full width; the ROB constrains
+		// how far fetch may run ahead of the oldest retirement.
+		for n > 0 {
+			batch := min(n, c.cfg.IssueWidth)
+			start := max(c.fetch, c.robConstraint())
+			c.fetch = start + float64(batch)*c.issueNS
+			retire := max(c.lastRetire+float64(batch)*c.issueNS, c.fetch)
+			for i := 0; i < batch; i++ {
+				c.retireOne(retire)
+			}
+			n -= batch
+		}
+	case Load:
+		issue := max(c.fetch, c.robConstraint())
+		if op.Dep {
+			// Pointer chase: the address depends on the previous load.
+			issue = max(issue, c.lastLoadDone)
+		}
+		done := c.mem.Load(c.id, op.Addr, issue)
+		c.lastLoadDone = done
+		c.fetch = issue + c.issueNS
+		c.retireOne(done)
+		c.loads++
+	case Store:
+		issue := max(c.fetch, c.robConstraint())
+		// The store buffer hides miss latency from retirement; the cache
+		// call still charges the memory system (write-allocate traffic).
+		c.mem.Store(c.id, op.Addr, issue)
+		c.fetch = issue + c.issueNS
+		c.retireOne(issue + c.issueNS)
+		c.stores++
+	case Clwb:
+		issue := max(c.fetch, c.robConstraint())
+		accept := c.mem.Clwb(c.id, op.Addr, issue)
+		c.fetch = max(issue+c.issueNS, accept)
+		// clwb + fence semantics: retirement (and thus the following
+		// instructions) wait for the clean to be accepted.
+		c.retireOne(accept)
+		c.cleans++
+	}
+}
+
+// IPC returns retired instructions per cycle up to the core's clock.
+func (c *Core) IPC() float64 {
+	if c.fetch <= 0 {
+		return 0
+	}
+	cycles := c.fetch / c.nsPerCycle
+	return float64(c.instructions) / cycles
+}

@@ -1,0 +1,149 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"chipkillpm/internal/config"
+)
+
+// scriptedMem returns fixed latencies and records issue times.
+type scriptedMem struct {
+	loadLat  float64
+	storeLat float64
+	clwbLat  float64
+	loads    []float64 // issue times
+}
+
+func (m *scriptedMem) Load(core int, addr uint64, now float64) float64 {
+	m.loads = append(m.loads, now)
+	return now + m.loadLat
+}
+func (m *scriptedMem) Store(core int, addr uint64, now float64) float64 {
+	return now + m.storeLat
+}
+func (m *scriptedMem) Clwb(core int, addr uint64, now float64) float64 {
+	return now + m.clwbLat
+}
+
+func newCore(mem MemorySystem) *Core {
+	return NewCore(0, config.TableI().CPU, mem)
+}
+
+func TestComputeIPCFullWidth(t *testing.T) {
+	c := newCore(&scriptedMem{})
+	c.Step(Op{Kind: Compute, N: 4000})
+	// 4-wide at 3 GHz: 4000 instructions in 1000 cycles.
+	if ipc := c.IPC(); math.Abs(ipc-4) > 0.1 {
+		t.Errorf("compute IPC=%.2f, want ~4", ipc)
+	}
+	if c.Instructions() != 4000 {
+		t.Errorf("instructions=%d", c.Instructions())
+	}
+}
+
+func TestIndependentLoadsOverlap(t *testing.T) {
+	// Independent loads issue back-to-back: total time for N loads of
+	// latency L must be far below N*L.
+	mem := &scriptedMem{loadLat: 300}
+	c := newCore(mem)
+	for i := 0; i < 10; i++ {
+		c.Step(Op{Kind: Load, Addr: uint64(i * 64)})
+	}
+	// All issue within a handful of ns of each other.
+	spread := mem.loads[len(mem.loads)-1] - mem.loads[0]
+	if spread > 50 {
+		t.Errorf("independent loads spread over %.1f ns", spread)
+	}
+}
+
+func TestDependentLoadsSerialise(t *testing.T) {
+	mem := &scriptedMem{loadLat: 300}
+	c := newCore(mem)
+	for i := 0; i < 5; i++ {
+		c.Step(Op{Kind: Load, Addr: uint64(i * 64), Dep: true})
+	}
+	// Each issue must wait for the previous load's completion.
+	for i := 1; i < len(mem.loads); i++ {
+		if gap := mem.loads[i] - mem.loads[i-1]; gap < 299 {
+			t.Fatalf("dependent load %d issued %.1f ns after predecessor", i, gap)
+		}
+	}
+}
+
+func TestROBLimitsRunahead(t *testing.T) {
+	// With one outstanding long load, fetch may run at most ROBEntries
+	// instructions ahead before stalling on the load's retirement.
+	mem := &scriptedMem{loadLat: 10000}
+	c := newCore(mem)
+	c.Step(Op{Kind: Load, Addr: 0})
+	// 200 compute instructions exceed the 168-entry ROB.
+	c.Step(Op{Kind: Compute, N: 200})
+	if c.Now() < 10000 {
+		t.Errorf("fetch time %.1f did not stall on the ROB-full load", c.Now())
+	}
+	// In contrast, 100 instructions fit alongside the load.
+	mem2 := &scriptedMem{loadLat: 10000}
+	c2 := newCore(mem2)
+	c2.Step(Op{Kind: Load, Addr: 0})
+	c2.Step(Op{Kind: Compute, N: 100})
+	if c2.Now() > 1000 {
+		t.Errorf("fetch stalled too early: %.1f", c2.Now())
+	}
+}
+
+func TestStoresDoNotBlockRetirement(t *testing.T) {
+	mem := &scriptedMem{storeLat: 5000}
+	c := newCore(mem)
+	for i := 0; i < 10; i++ {
+		c.Step(Op{Kind: Store, Addr: uint64(i * 64)})
+	}
+	c.Step(Op{Kind: Compute, N: 40})
+	// Stores are buffered; 10 stores + 40 compute take ~50/4 cycles.
+	if c.Now() > 100 {
+		t.Errorf("stores blocked the pipeline: %.1f ns", c.Now())
+	}
+}
+
+func TestClwbBlocksOnAcceptance(t *testing.T) {
+	mem := &scriptedMem{clwbLat: 2000}
+	c := newCore(mem)
+	c.Step(Op{Kind: Clwb, Addr: 0})
+	if c.Now() < 2000 {
+		t.Errorf("clwb did not wait for acceptance: %.1f", c.Now())
+	}
+	loads, stores, cleans := c.Counts()
+	if loads != 0 || stores != 0 || cleans != 1 {
+		t.Errorf("counts: %d %d %d", loads, stores, cleans)
+	}
+}
+
+func TestComputeZeroN(t *testing.T) {
+	c := newCore(&scriptedMem{})
+	c.Step(Op{Kind: Compute, N: 0})
+	if c.Instructions() != 1 {
+		t.Errorf("N=0 compute retired %d instructions, want 1", c.Instructions())
+	}
+}
+
+func TestIPCZeroBeforeWork(t *testing.T) {
+	c := newCore(&scriptedMem{})
+	if c.IPC() != 0 {
+		t.Error("IPC nonzero before any work")
+	}
+}
+
+func TestMemoryBoundIPC(t *testing.T) {
+	// Pure dependent-load stream at 300 ns per load: IPC ~= 1 per 900
+	// cycles.
+	mem := &scriptedMem{loadLat: 300}
+	c := newCore(mem)
+	for i := 0; i < 100; i++ {
+		c.Step(Op{Kind: Load, Dep: true})
+	}
+	ipc := c.IPC()
+	want := 1.0 / (300 * 3)
+	if math.Abs(ipc-want)/want > 0.2 {
+		t.Errorf("memory-bound IPC=%.5f, want ~%.5f", ipc, want)
+	}
+}

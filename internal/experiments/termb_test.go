@@ -1,0 +1,22 @@
+package experiments
+
+import "testing"
+
+func TestValidateTermBMatchesPrediction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo skipped in -short")
+	}
+	v, err := ValidateTermB(4, 120_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predicted 2.4e-4 -> ~29 events in 120k trials; accept 2x slack.
+	if v.Miscorrected == 0 {
+		t.Fatal("no miscorrections observed; Term B validation impossible")
+	}
+	ratio := v.Rate() / v.Predicted
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Errorf("measured Term B %.2e vs predicted %.2e (ratio %.2f)", v.Rate(), v.Predicted, ratio)
+	}
+	t.Logf("t=4: %d/%d miscorrections (%.2e vs predicted %.2e)", v.Miscorrected, v.Trials, v.Rate(), v.Predicted)
+}

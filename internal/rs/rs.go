@@ -1,0 +1,369 @@
+// Package rs implements Reed-Solomon codes over GF(2^8) with
+// errors-and-erasures decoding.
+//
+// The paper's per-block chip-failure code is RS(72, 64): 64 data bytes from
+// eight data chips plus 8 check bytes held in a ninth (parity) chip. Its
+// minimum distance is 9, so it can correct any 4 random byte errors, or up
+// to 8 byte erasures (a whole failed chip whose position is known), or
+// mixes with 2*errors + erasures <= 8.
+//
+// The scheme additionally uses DecodeLimited: an errors-only decode that
+// accepts the result only when it makes at most `threshold` corrections.
+// A miscorrection is far more likely to surface as many corrections than
+// as few, so capping accepted corrections at 2 drops the silent-data-
+// corruption rate from 3.2e-11 to 3.3e-22 (paper appendix) at the cost of
+// occasionally falling back to VLEW correction.
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"chipkillpm/internal/gf"
+)
+
+// ErrUncorrectable reports an error pattern beyond the code's capability.
+var ErrUncorrectable = errors.New("rs: uncorrectable error pattern")
+
+// ErrThreshold reports that an errors-only decode succeeded but needed more
+// corrections than the caller's acceptance threshold; the input was left
+// unmodified and the caller should fall back to a stronger code (VLEWs).
+var ErrThreshold = errors.New("rs: corrections exceed acceptance threshold")
+
+// Code is an (n, k) Reed-Solomon code over GF(2^8) with r = n-k check
+// symbols and first consecutive root alpha^1. It is immutable and safe for
+// concurrent use.
+type Code struct {
+	f   *gf.Field
+	k   int // data symbols (bytes)
+	r   int // check symbols (bytes)
+	n   int // total symbols
+	gen gf.Poly
+}
+
+// New constructs an RS code with k data bytes and r check bytes.
+func New(k, r int) (*Code, error) {
+	f := gf.MustField(8)
+	if k < 1 || r < 1 {
+		return nil, fmt.Errorf("rs: k=%d, r=%d must be >= 1", k, r)
+	}
+	if k+r > f.N() {
+		return nil, fmt.Errorf("rs: n=%d exceeds field bound %d", k+r, f.N())
+	}
+	// g(x) = prod_{j=1..r} (x - alpha^j).
+	gen := gf.Poly{1}
+	for j := 1; j <= r; j++ {
+		gen = f.PolyMul(gen, gf.Poly{f.Exp(j), 1})
+	}
+	return &Code{f: f, k: k, r: r, n: k + r, gen: gen}, nil
+}
+
+// Must is New but panics on error.
+func Must(k, r int) *Code {
+	c, err := New(k, r)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// K returns the number of data bytes per codeword.
+func (c *Code) K() int { return c.k }
+
+// R returns the number of check bytes per codeword.
+func (c *Code) R() int { return c.r }
+
+// N returns the codeword length in bytes.
+func (c *Code) N() int { return c.n }
+
+// Distance returns the minimum Hamming distance, r+1.
+func (c *Code) Distance() int { return c.r + 1 }
+
+// MaxErrors returns the maximum number of random byte errors correctable
+// with no erasures: floor(r/2).
+func (c *Code) MaxErrors() int { return c.r / 2 }
+
+// MaxErasures returns the maximum number of byte erasures correctable with
+// no random errors: r.
+func (c *Code) MaxErasures() int { return c.r }
+
+// codeword coefficient layout: check symbol i sits at polynomial degree i
+// (i in [0,r)), data byte j at degree r+j. Position p in the public API
+// means data byte p for p < k and check byte p-k for p >= k.
+
+func (c *Code) posToDegree(p int) int {
+	if p < c.k {
+		return c.r + p
+	}
+	return p - c.k
+}
+
+func (c *Code) degreeToPos(d int) int {
+	if d < c.r {
+		return c.k + d
+	}
+	return d - c.r
+}
+
+// Encode computes the r check bytes for the k data bytes.
+func (c *Code) Encode(data []byte) []byte {
+	if len(data) != c.k {
+		panic(fmt.Sprintf("rs: Encode: got %d data bytes, want %d", len(data), c.k))
+	}
+	// Systematic: check(x) = (d(x) * x^r) mod g(x).
+	p := make(gf.Poly, c.n)
+	for j, b := range data {
+		p[c.r+j] = gf.Elem(b)
+	}
+	_, rem := c.f.PolyDivMod(p, c.gen)
+	check := make([]byte, c.r)
+	for i := 0; i < c.r && i < len(rem); i++ {
+		check[i] = byte(rem[i])
+	}
+	return check
+}
+
+// EncodeDelta returns the check-byte update for a sparse data change:
+// XORing the result into the old check bytes yields the check bytes of the
+// new data, where delta = old XOR new starting at data byte byteOffset.
+// RS over GF(2^8) is linear over GF(2), so incremental update works exactly
+// as for BCH.
+func (c *Code) EncodeDelta(delta []byte, byteOffset int) []byte {
+	if byteOffset < 0 || byteOffset+len(delta) > c.k {
+		panic(fmt.Sprintf("rs: EncodeDelta: %d bytes at offset %d overflow k=%d", len(delta), byteOffset, c.k))
+	}
+	p := make(gf.Poly, c.r+byteOffset+len(delta))
+	for j, b := range delta {
+		p[c.r+byteOffset+j] = gf.Elem(b)
+	}
+	_, rem := c.f.PolyDivMod(p, c.gen)
+	check := make([]byte, c.r)
+	for i := 0; i < c.r && i < len(rem); i++ {
+		check[i] = byte(rem[i])
+	}
+	return check
+}
+
+// syndromes returns S_1..S_r and whether all are zero.
+func (c *Code) syndromes(data, check []byte) (gf.Poly, bool) {
+	syn := make(gf.Poly, c.r)
+	clean := true
+	for j := 1; j <= c.r; j++ {
+		var s gf.Elem
+		a := c.f.Exp(j)
+		// Horner over the full codeword, highest degree first: data[k-1]
+		// has the highest degree r+k-1.
+		for i := c.k - 1; i >= 0; i-- {
+			s = c.f.Mul(s, a) ^ gf.Elem(data[i])
+		}
+		for i := c.r - 1; i >= 0; i-- {
+			s = c.f.Mul(s, a) ^ gf.Elem(check[i])
+		}
+		syn[j-1] = s
+		if s != 0 {
+			clean = false
+		}
+	}
+	return syn, clean
+}
+
+// Check reports whether data||check is a clean codeword.
+func (c *Code) Check(data, check []byte) bool {
+	c.validate(data, check)
+	_, clean := c.syndromes(data, check)
+	return clean
+}
+
+func (c *Code) validate(data, check []byte) {
+	if len(data) != c.k || len(check) != c.r {
+		panic(fmt.Sprintf("rs: got %d data and %d check bytes, want %d and %d",
+			len(data), len(check), c.k, c.r))
+	}
+}
+
+// berlekampMassey finds the error locator for syndrome sequence seq.
+func (c *Code) berlekampMassey(seq gf.Poly) gf.Poly {
+	f := c.f
+	sigma := gf.Poly{1}
+	prev := gf.Poly{1}
+	l := 0
+	shift := 1
+	b := gf.Elem(1)
+	for i := 0; i < len(seq); i++ {
+		d := seq[i]
+		for j := 1; j <= l && j < len(sigma); j++ {
+			if i-j >= 0 {
+				d ^= f.Mul(sigma[j], seq[i-j])
+			}
+		}
+		if d == 0 {
+			shift++
+			continue
+		}
+		scale := f.Div(d, b)
+		adj := f.PolyMulXk(f.PolyScale(prev, scale), shift)
+		next := f.PolyAdd(sigma, adj)
+		if 2*l <= i {
+			prev = sigma
+			b = d
+			l = i + 1 - l
+			shift = 1
+		} else {
+			shift++
+		}
+		sigma = next
+	}
+	return sigma
+}
+
+// Correction describes one applied symbol correction.
+type Correction struct {
+	Pos     int  // public position: data byte for Pos < K, check byte K+i otherwise
+	Old     byte // symbol value before correction
+	New     byte // symbol value after correction
+	Erasure bool // true when the position was declared an erasure
+}
+
+// Decode corrects errors and erasures in place. erasures lists known-bad
+// positions (data byte index for < k, k+i for check byte i); duplicate or
+// out-of-range positions are rejected. It returns the corrections applied.
+// On ErrUncorrectable, data and check are unchanged.
+func (c *Code) Decode(data, check []byte, erasures []int) ([]Correction, error) {
+	c.validate(data, check)
+	if len(erasures) > c.r {
+		return nil, fmt.Errorf("rs: %d erasures exceed capability %d: %w", len(erasures), c.r, ErrUncorrectable)
+	}
+	seen := map[int]bool{}
+	for _, p := range erasures {
+		if p < 0 || p >= c.n {
+			return nil, fmt.Errorf("rs: erasure position %d out of range [0,%d)", p, c.n)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("rs: duplicate erasure position %d", p)
+		}
+		seen[p] = true
+	}
+	f := c.f
+
+	syn, clean := c.syndromes(data, check)
+	if clean {
+		// Nothing to do; erased positions already hold correct values.
+		return nil, nil
+	}
+
+	// Erasure locator Gamma(x) = prod (1 - X_i x), X_i = alpha^degree.
+	gamma := gf.Poly{1}
+	for _, p := range erasures {
+		x := f.Exp(c.posToDegree(p))
+		gamma = f.PolyMul(gamma, gf.Poly{1, x})
+	}
+
+	// Modified (Forney) syndromes: T(x) = S(x)*Gamma(x) mod x^r, then drop
+	// the first rho coefficients; BM on the remainder finds the error
+	// locator sigma for the non-erased errors.
+	t := f.PolyMul(syn, gamma)
+	if len(t) > c.r {
+		t = t[:c.r]
+	}
+	for len(t) < c.r {
+		t = append(t, 0)
+	}
+	rho := len(erasures)
+	sigma := c.berlekampMassey(t[rho:])
+	nu := gf.PolyDeg(sigma)
+	if nu < 0 {
+		sigma = gf.Poly{1}
+		nu = 0
+	}
+	if 2*nu+rho > c.r {
+		return nil, ErrUncorrectable
+	}
+
+	// Errata locator and evaluator.
+	lambda := f.PolyMul(sigma, gamma)
+	omega := f.PolyMul(syn, lambda)
+	if len(omega) > c.r {
+		omega = omega[:c.r]
+	}
+	omega = gf.PolyTrim(omega)
+	lambdaDeriv := f.PolyDeriv(lambda)
+
+	// Chien search across all n coefficient degrees.
+	degLambda := gf.PolyDeg(lambda)
+	var corrections []Correction
+	found := 0
+	for d := 0; d < c.n && found < degLambda; d++ {
+		xInv := f.Exp(-d)
+		if f.PolyEval(lambda, xInv) != 0 {
+			continue
+		}
+		found++
+		denom := f.PolyEval(lambdaDeriv, xInv)
+		if denom == 0 {
+			return nil, ErrUncorrectable
+		}
+		// Forney, fcr=1: magnitude = Omega(Xinv) / Lambda'(Xinv).
+		mag := f.Div(f.PolyEval(omega, xInv), denom)
+		if mag == 0 {
+			continue // erased position that was actually correct
+		}
+		pos := c.degreeToPos(d)
+		var oldV byte
+		if pos < c.k {
+			oldV = data[pos]
+		} else {
+			oldV = check[pos-c.k]
+		}
+		corrections = append(corrections, Correction{
+			Pos: pos, Old: oldV, New: oldV ^ byte(mag), Erasure: seen[pos],
+		})
+	}
+	if found != degLambda {
+		return nil, ErrUncorrectable
+	}
+	for _, corr := range corrections {
+		if corr.Pos < c.k {
+			data[corr.Pos] = corr.New
+		} else {
+			check[corr.Pos-c.k] = corr.New
+		}
+	}
+	if _, clean := c.syndromes(data, check); !clean {
+		for _, corr := range corrections { // roll back
+			if corr.Pos < c.k {
+				data[corr.Pos] = corr.Old
+			} else {
+				check[corr.Pos-c.k] = corr.Old
+			}
+		}
+		return nil, ErrUncorrectable
+	}
+	return corrections, nil
+}
+
+// DecodeLimited performs an errors-only decode but accepts the result only
+// when it applies at most threshold corrections. When the decode would
+// require more, it returns ErrThreshold and leaves the inputs unchanged,
+// signalling the caller to fall back to VLEW correction (paper Fig. 8/9).
+func (c *Code) DecodeLimited(data, check []byte, threshold int) ([]Correction, error) {
+	corrections, err := c.Decode(data, check, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(corrections) > threshold {
+		for _, corr := range corrections { // roll back: reject the correction
+			if corr.Pos < c.k {
+				data[corr.Pos] = corr.Old
+			} else {
+				check[corr.Pos-c.k] = corr.Old
+			}
+		}
+		return nil, ErrThreshold
+	}
+	return corrections, nil
+}
+
+// String implements fmt.Stringer.
+func (c *Code) String() string {
+	return fmt.Sprintf("RS(n=%d,k=%d,d=%d) over GF(2^8)", c.n, c.k, c.Distance())
+}

@@ -1,0 +1,258 @@
+// Package sim wires the trace-driven cores, the cache hierarchy with
+// SAM/OMV support, and the DDR timing model into the full-system
+// performance simulator behind Figures 10 and 14-18.
+//
+// A run follows the paper's methodology (Sec VI): warm up, reset the
+// counters, then measure a fixed instruction budget. The proposal is
+// evaluated in two passes, exactly as the paper does: the first pass
+// measures each workload's C factor (VLEW code-bit writes per persistent-
+// memory write, Fig 15); the second pass inflates the persistent-memory
+// write latency by 1 + 33/8*C (plus 20 ns of encoder and internal
+// read-modify-write latency) and adds the VLEW-fallback read traffic.
+package sim
+
+import (
+	"fmt"
+
+	"chipkillpm/internal/cache"
+	"chipkillpm/internal/config"
+	"chipkillpm/internal/cpu"
+	"chipkillpm/internal/memctrl"
+	"chipkillpm/internal/nvram"
+	"chipkillpm/internal/trace"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	System config.System
+	Tech   nvram.Tech // supplies the PM rank's read/write latencies
+	// Instructions is the measured instruction budget summed over cores.
+	Instructions int64
+	// Warmup instructions executed (and discarded) before measuring.
+	Warmup int64
+	Seed   int64
+	// Mode is the memory-controller behaviour (baseline or proposal).
+	Mode memctrl.Mode
+	// OMV selects the LLC's old-memory-value policy (cache.OMVPreserve
+	// for the proposal, cache.OMVOff for the baseline).
+	OMV cache.OMVPolicy
+}
+
+// DefaultOptions returns Table I with the given technology and a budget
+// suitable for tests and experiments.
+func DefaultOptions(tech nvram.Tech, seed int64) Options {
+	sys := config.TableI().WithPMLatencies(tech.ReadLatency, tech.WriteLatency)
+	return Options{
+		System:       sys,
+		Tech:         tech,
+		Instructions: 2_000_000,
+		Warmup:       500_000,
+		Seed:         seed,
+		Mode:         memctrl.BaselineMode(),
+	}
+}
+
+// Result summarises one run.
+type Result struct {
+	Workload     string
+	Class        trace.Class
+	Instructions int64
+	ElapsedNS    float64
+	IPC          float64 // aggregate retired instructions per cycle
+
+	CFactor     float64 // VLEW code writes / PM writes (Fig 15)
+	OMVHitRate  float64 // Fig 18
+	DirtyPMFrac float64 // mean dirty-PM share of all cachelines (Fig 10)
+	OMVFrac     float64 // mean OMV share of LLC lines
+
+	// Off-chip access breakdown (Fig 14).
+	PMReadFrac, PMWriteFrac, DRAMReadFrac, DRAMWriteFrac float64
+
+	Mem   memctrl.Stats
+	Cache cache.Stats
+}
+
+// pmBase puts persistent memory high in the address space; each WHISPER
+// process gets a private slice, SPLASH threads share one.
+const (
+	pmBase   = uint64(1) << 40
+	dramBase = uint64(1) << 20
+	sliceGap = uint64(1) << 32
+)
+
+// Run executes one workload under one configuration.
+func Run(p trace.Profile, opt Options) (Result, error) {
+	if opt.Instructions <= 0 {
+		return Result{}, fmt.Errorf("sim: instruction budget must be positive")
+	}
+	sys := opt.System
+	cores := sys.CPU.Cores
+
+	pmSize := uint64(p.PMFootprintBlocks) * 64
+	totalPMSize := pmSize
+	if p.Class == trace.Whisper {
+		totalPMSize = sliceGap * uint64(cores) // private slices
+	}
+	ctrl, err := memctrl.New(sys, opt.Mode, pmBase, totalPMSize, opt.Seed^0x5eed)
+	if err != nil {
+		return Result{}, err
+	}
+	hier, err := cache.New(sys, ctrl, opt.OMV)
+	if err != nil {
+		return Result{}, err
+	}
+
+	streams := make([]*trace.Stream, cores)
+	cpus := make([]*cpu.Core, cores)
+	for i := 0; i < cores; i++ {
+		pb, db := pmBase, dramBase
+		if p.Class == trace.Whisper {
+			// Separate processes: disjoint memory slices.
+			pb += uint64(i) * sliceGap
+			db += uint64(i) * sliceGap / 4
+		}
+		streams[i] = trace.NewStream(p, pb, db, opt.Seed+int64(i)*101)
+		cpus[i] = cpu.NewCore(i, sys.CPU, hier)
+	}
+
+	retired := func() int64 {
+		var n int64
+		for _, c := range cpus {
+			n += c.Instructions()
+		}
+		return n
+	}
+	// step advances the core with the smallest local clock, keeping the
+	// shared memory system's view of time approximately monotonic.
+	step := func() {
+		best := 0
+		for i := 1; i < cores; i++ {
+			if cpus[i].Now() < cpus[best].Now() {
+				best = i
+			}
+		}
+		cpus[best].Step(streams[best].Next())
+	}
+
+	for retired() < opt.Warmup {
+		step()
+	}
+	ctrl.ResetStats()
+	hier.ResetStats()
+	startInstr := retired()
+	startNS := 0.0
+	for _, c := range cpus {
+		if c.Now() > startNS {
+			startNS = c.Now()
+		}
+	}
+
+	var dirtySum, omvSum float64
+	samples := 0
+	sampleEvery := int64(opt.Instructions / 64)
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	nextSample := startInstr + sampleEvery
+
+	for retired()-startInstr < opt.Instructions {
+		step()
+		if retired() >= nextSample {
+			d, o := hier.Occupancy()
+			dirtySum += d
+			omvSum += o
+			samples++
+			nextSample += sampleEvery
+		}
+	}
+	ctrl.Drain()
+
+	endNS := 0.0
+	for _, c := range cpus {
+		if c.Now() > endNS {
+			endNS = c.Now()
+		}
+	}
+	elapsed := endNS - startNS
+	if elapsed <= 0 {
+		elapsed = 1
+	}
+	instr := retired() - startInstr
+	cycles := elapsed * sys.CyclesPerNS()
+
+	ms := ctrl.Stats()
+	cs := hier.Stats()
+	res := Result{
+		Workload:     p.Name,
+		Class:        p.Class,
+		Instructions: instr,
+		ElapsedNS:    elapsed,
+		IPC:          float64(instr) / cycles,
+		CFactor:      ms.CFactor(),
+		OMVHitRate:   cs.OMVHitRate(),
+		Mem:          ms,
+		Cache:        cs,
+	}
+	if samples > 0 {
+		res.DirtyPMFrac = dirtySum / float64(samples)
+		res.OMVFrac = omvSum / float64(samples)
+	}
+	total := float64(ms.PMReads + ms.PMWrites + ms.DRAMReads + ms.DRAMWrites)
+	if total > 0 {
+		res.PMReadFrac = float64(ms.PMReads) / total
+		res.PMWriteFrac = float64(ms.PMWrites) / total
+		res.DRAMReadFrac = float64(ms.DRAMReads) / total
+		res.DRAMWriteFrac = float64(ms.DRAMWrites) / total
+	}
+	return res, nil
+}
+
+// Comparison holds a baseline/proposal pair for one workload.
+type Comparison struct {
+	Workload   string
+	Class      trace.Class
+	Baseline   Result
+	CPass      Result  // proposal pass 1 (C measurement)
+	Proposal   Result  // proposal pass 2 (with inflated tWR)
+	Normalized float64 // proposal performance / baseline performance
+}
+
+// Compare runs the paper's three-step evaluation for one workload: the
+// bit-error-only baseline, a C-measurement pass, and the proposal with
+// the measured C folded into the write latency.
+func Compare(p trace.Profile, opt Options) (Comparison, error) {
+	var cmp Comparison
+	cmp.Workload = p.Name
+	cmp.Class = p.Class
+
+	baseOpt := opt
+	baseOpt.Mode = memctrl.BaselineMode()
+	baseOpt.OMV = cache.OMVOff
+	base, err := Run(p, baseOpt)
+	if err != nil {
+		return cmp, err
+	}
+	cmp.Baseline = base
+
+	cOpt := opt
+	cOpt.Mode = memctrl.ProposalMode(0) // measure C without inflation
+	cOpt.OMV = cache.OMVPreserve
+	cPass, err := Run(p, cOpt)
+	if err != nil {
+		return cmp, err
+	}
+	cmp.CPass = cPass
+
+	propOpt := opt
+	propOpt.Mode = memctrl.ProposalMode(cPass.CFactor)
+	propOpt.OMV = cache.OMVPreserve
+	prop, err := Run(p, propOpt)
+	if err != nil {
+		return cmp, err
+	}
+	cmp.Proposal = prop
+	if base.IPC > 0 {
+		cmp.Normalized = prop.IPC / base.IPC
+	}
+	return cmp, nil
+}

@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"testing"
+
+	"chipkillpm/internal/cache"
+	"chipkillpm/internal/memctrl"
+	"chipkillpm/internal/nvram"
+	"chipkillpm/internal/trace"
+)
+
+func fastOpts(tech nvram.Tech) Options {
+	opt := DefaultOptions(tech, 11)
+	opt.Instructions = 600_000
+	opt.Warmup = 150_000
+	return opt
+}
+
+func TestRunProducesSaneResult(t *testing.T) {
+	p, _ := trace.FindWorkload("echo")
+	res, err := Run(p, fastOpts(nvram.PCM3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions < 600_000 {
+		t.Errorf("measured %d instructions", res.Instructions)
+	}
+	if res.IPC <= 0 || res.IPC > 16 {
+		t.Errorf("IPC=%.2f out of range", res.IPC)
+	}
+	if res.ElapsedNS <= 0 {
+		t.Error("no elapsed time")
+	}
+	fr := res.PMReadFrac + res.PMWriteFrac + res.DRAMReadFrac + res.DRAMWriteFrac
+	if fr < 0.99 || fr > 1.01 {
+		t.Errorf("breakdown fractions sum to %.3f", fr)
+	}
+	if res.PMReadFrac == 0 {
+		t.Error("workload did not exercise persistent memory")
+	}
+}
+
+func TestRunRejectsBadBudget(t *testing.T) {
+	p, _ := trace.FindWorkload("echo")
+	opt := fastOpts(nvram.PCM3)
+	opt.Instructions = 0
+	if _, err := Run(p, opt); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	p, _ := trace.FindWorkload("btree")
+	a, err := Run(p, fastOpts(nvram.PCM3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, fastOpts(nvram.PCM3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IPC != b.IPC || a.ElapsedNS != b.ElapsedNS {
+		t.Error("same seed produced different results")
+	}
+}
+
+func TestProposalOverheadShape(t *testing.T) {
+	// The reproduction's headline: the proposal costs a few percent for
+	// ordinary workloads and the most for hashmap (paper: 2% average,
+	// 14% worst-case hashmap under PCM).
+	if testing.Short() {
+		t.Skip("calibration check skipped in -short")
+	}
+	for _, tc := range []struct {
+		name     string
+		min, max float64
+	}{
+		{"echo", 0.93, 1.02},
+		{"btree", 0.90, 1.01},
+		{"hashmap", 0.65, 0.92},
+		{"barnes", 0.93, 1.02},
+	} {
+		p, _ := trace.FindWorkload(tc.name)
+		cmp, err := Compare(p, fastOpts(nvram.PCM3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmp.Normalized < tc.min || cmp.Normalized > tc.max {
+			t.Errorf("%s: normalized %.3f outside [%.2f,%.2f]", tc.name, cmp.Normalized, tc.min, tc.max)
+		}
+	}
+}
+
+func TestHashmapIsWorstCase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration check skipped in -short")
+	}
+	hp, _ := trace.FindWorkload("hashmap")
+	ep, _ := trace.FindWorkload("echo")
+	h, err := Compare(hp, fastOpts(nvram.PCM3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Compare(ep, fastOpts(nvram.PCM3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Normalized >= e.Normalized {
+		t.Errorf("hashmap (%.3f) should be worse than echo (%.3f)", h.Normalized, e.Normalized)
+	}
+}
+
+func TestReRAMOverheadBelowPCM(t *testing.T) {
+	// Sec VII: overheads are lower under ReRAM latencies (1.4%) than PCM
+	// (2.3%) because the baseline write latency is shorter.
+	if testing.Short() {
+		t.Skip("calibration check skipped in -short")
+	}
+	p, _ := trace.FindWorkload("hashmap")
+	pcm, err := Compare(p, fastOpts(nvram.PCM3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rer, err := Compare(p, fastOpts(nvram.ReRAM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rer.Normalized <= pcm.Normalized {
+		t.Errorf("ReRAM overhead (%.3f) should be smaller than PCM (%.3f)",
+			rer.Normalized, pcm.Normalized)
+	}
+}
+
+func TestCPassMeasuresCFactor(t *testing.T) {
+	p, _ := trace.FindWorkload("hashmap")
+	cmp, err := Compare(p, fastOpts(nvram.PCM3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.CPass.CFactor <= 0 || cmp.CPass.CFactor > 1.2 {
+		t.Errorf("C factor %.3f out of range", cmp.CPass.CFactor)
+	}
+	// Proposal pass must reflect the inflated tWR derived from C.
+	if cmp.Proposal.IPC > cmp.CPass.IPC {
+		t.Log("note: proposal faster than C-pass (noise) — acceptable but unusual")
+	}
+	if cmp.Baseline.CFactor != 0 {
+		t.Error("baseline measured a C factor")
+	}
+}
+
+func TestOMVHitRateHigh(t *testing.T) {
+	// Fig 18: on average 98.6% of PM writes find their OMV in the LLC.
+	// hashmap's small write-behind window produces cleans quickly enough
+	// for a short run.
+	p, _ := trace.FindWorkload("hashmap")
+	opt := fastOpts(nvram.PCM3)
+	opt.Mode = memctrl.ProposalMode(0)
+	opt.OMV = cache.OMVPreserve
+	res, err := Run(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OMVHitRate < 0.9 {
+		t.Errorf("OMV hit rate %.3f, want > 0.9", res.OMVHitRate)
+	}
+}
+
+func TestSplashSharesFootprint(t *testing.T) {
+	p, _ := trace.FindWorkload("fft")
+	if p.Class != trace.Splash {
+		t.Fatal("fft should be SPLASH")
+	}
+	res, err := Run(p, fastOpts(nvram.PCM3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != trace.Splash {
+		t.Error("class not propagated")
+	}
+}
+
+func TestDirtyPMOccupancySampled(t *testing.T) {
+	p, _ := trace.FindWorkload("hashmap")
+	opt := fastOpts(nvram.PCM3)
+	opt.Mode = memctrl.ProposalMode(0)
+	opt.OMV = cache.OMVPreserve
+	res, err := Run(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DirtyPMFrac <= 0 {
+		t.Error("dirty-PM occupancy never sampled above zero")
+	}
+	if res.DirtyPMFrac > 0.5 {
+		t.Errorf("dirty-PM occupancy %.3f implausibly high", res.DirtyPMFrac)
+	}
+}

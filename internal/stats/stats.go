@@ -1,0 +1,162 @@
+// Package stats provides small statistics helpers shared by the simulator
+// and the experiment harness: counters, running means, histograms and a
+// geometric mean, plus fixed-width table rendering for experiment output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean is an online arithmetic mean.
+type Mean struct {
+	n   int64
+	sum float64
+}
+
+// Add accumulates one observation.
+func (m *Mean) Add(v float64) { m.n++; m.sum += v }
+
+// AddN accumulates an observation with weight n.
+func (m *Mean) AddN(v float64, n int64) { m.n += n; m.sum += v * float64(n) }
+
+// Value returns the mean, or 0 when empty.
+func (m *Mean) Value() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// N returns the number of observations.
+func (m *Mean) N() int64 { return m.n }
+
+// GeoMean returns the geometric mean of vs, ignoring non-positive entries.
+func GeoMean(vs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, v := range vs {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Histogram is a fixed-bucket integer histogram (bucket i counts value i;
+// the last bucket absorbs overflow).
+type Histogram struct {
+	buckets []int64
+	total   int64
+}
+
+// NewHistogram creates a histogram with n buckets (values 0..n-2, plus an
+// overflow bucket).
+func NewHistogram(n int) *Histogram { return &Histogram{buckets: make([]int64, n)} }
+
+// Add records one observation of value v.
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.buckets) {
+		v = len(h.buckets) - 1
+	}
+	h.buckets[v]++
+	h.total++
+}
+
+// Count returns bucket v's count.
+func (h *Histogram) Count(v int) int64 {
+	if v < 0 || v >= len(h.buckets) {
+		return 0
+	}
+	return h.buckets[v]
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Frac returns bucket v's fraction of all observations.
+func (h *Histogram) Frac(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Count(v)) / float64(h.total)
+}
+
+// FracAtLeast returns the fraction of observations >= v.
+func (h *Histogram) FracAtLeast(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var c int64
+	for i := v; i < len(h.buckets); i++ {
+		if i >= 0 {
+			c += h.buckets[i]
+		}
+	}
+	return float64(c) / float64(h.total)
+}
+
+// Table renders rows of labelled values as a fixed-width text table, used
+// by cmd/experiments to print each figure's series.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// SortedKeys returns map keys in sorted order; handy for stable output.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

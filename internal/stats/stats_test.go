@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 || m.N() != 0 {
+		t.Error("empty mean not zero")
+	}
+	m.Add(2)
+	m.Add(4)
+	if m.Value() != 3 || m.N() != 2 {
+		t.Errorf("mean=%v n=%v", m.Value(), m.N())
+	}
+	m.AddN(10, 2)
+	if m.Value() != 6.5 {
+		t.Errorf("weighted mean=%v, want 6.5", m.Value())
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Errorf("GeoMean=%v, want 2", g)
+	}
+	if g := GeoMean([]float64{2, 0, 8, -1}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("non-positive entries not ignored: %v", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty GeoMean not 0")
+	}
+}
+
+func TestGeoMeanBetweenMinMaxQuick(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			vs[i] = float64(r) + 1
+			lo = math.Min(lo, vs[i])
+			hi = math.Max(hi, vs[i])
+		}
+		g := GeoMean(vs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(5)
+	for _, v := range []int{0, 1, 1, 2, 9, -3} {
+		h.Add(v)
+	}
+	if h.Total() != 6 {
+		t.Errorf("total=%d", h.Total())
+	}
+	if h.Count(1) != 2 {
+		t.Errorf("count(1)=%d", h.Count(1))
+	}
+	if h.Count(4) != 1 { // overflow bucket absorbed 9
+		t.Errorf("overflow=%d", h.Count(4))
+	}
+	if h.Count(0) != 2 { // -3 clamped to 0
+		t.Errorf("count(0)=%d", h.Count(0))
+	}
+	if h.Count(99) != 0 {
+		t.Error("out-of-range count nonzero")
+	}
+	if f := h.Frac(1); math.Abs(f-2.0/6) > 1e-12 {
+		t.Errorf("frac=%v", f)
+	}
+	if f := h.FracAtLeast(2); math.Abs(f-2.0/6) > 1e-12 {
+		t.Errorf("fracAtLeast=%v", f)
+	}
+	var empty Histogram
+	if empty.Frac(0) != 0 || empty.FracAtLeast(0) != 0 {
+		t.Error("empty histogram fractions nonzero")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Header: []string{"name", "value"}}
+	tab.AddRow("alpha", "1")
+	tab.AddRow("b", "12345")
+	out := tab.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "12345") {
+		t.Errorf("table output missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4", len(lines))
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Errorf("keys=%v", keys)
+	}
+}

@@ -1,0 +1,196 @@
+package trace
+
+// The workload catalog. Knob choices are derived from each benchmark's
+// published character:
+//
+//   - WHISPER network services (echo, memcached, redis, vacation) process
+//     a network request per query, so most of a query is compute; the
+//     paper attributes their insensitivity to write latency to exactly
+//     this (Sec VII).
+//   - The tree stores (ctree, btree, rbtree) perform only write queries
+//     but pointer-chase through the tree, reading from few banks at a
+//     time, which shields them from in-progress writes (Sec VII).
+//   - hashmap performs only write queries on small (64 B) random items:
+//     no network stall, no pointer chain, poor row locality — the
+//     worst case for the proposal (14% overhead in the paper).
+//   - The SPLASH3 workloads run under ATLAS with all heap objects in
+//     persistent memory; they are parallel, floating-point-heavy, and
+//     clean less eagerly (dirty-PM occupancy in Fig 10 stays small
+//     because writes are a small fraction of their accesses).
+//
+// Footprints are scaled to the simulated 4 MB LLC the way the paper's
+// 2-20 GB footprints relate to its 4 MB LLC: far larger than the cache.
+
+// Workloads returns the full catalog in the paper's presentation order.
+func Workloads() []Profile {
+	return append(WhisperWorkloads(), SplashWorkloads()...)
+}
+
+// WhisperWorkloads returns the persistent-memory benchmark profiles.
+func WhisperWorkloads() []Profile {
+	return []Profile{
+		{
+			Name: "echo", Class: Whisper,
+			ComputePerQuery: 6000,
+			PMReads:         2, PMWrites: 2, DRAMReads: 4, DRAMWrites: 1,
+			WriteRowLocality: 0.95, CleanBatch: 128,
+			PMFootprintBlocks: 256 << 10, DRAMFootprintBlocks: 128 << 10,
+			HotFraction: 0.05, HotProbability: 0.6,
+		},
+		{
+			Name: "memcached", Class: Whisper,
+			ComputePerQuery: 8000,
+			PMReads:         4, PMWrites: 1, DRAMReads: 6, DRAMWrites: 2,
+			WriteRowLocality: 0.90, CleanBatch: 64,
+			PMFootprintBlocks: 512 << 10, DRAMFootprintBlocks: 128 << 10,
+			HotFraction: 0.03, HotProbability: 0.6,
+		},
+		{
+			Name: "redis", Class: Whisper,
+			ComputePerQuery: 7000,
+			PMReads:         3, PMWrites: 1, DRAMReads: 5, DRAMWrites: 2,
+			WriteRowLocality: 0.90, CleanBatch: 64,
+			PMFootprintBlocks: 384 << 10, DRAMFootprintBlocks: 128 << 10,
+			HotFraction: 0.05, HotProbability: 0.6,
+		},
+		{
+			Name: "ctree", Class: Whisper,
+			PointerChase:    true,
+			ComputePerQuery: 2500,
+			PMReads:         4, PMWrites: 1, DRAMReads: 2, DRAMWrites: 1,
+			WriteRowLocality: 0.85, CleanBatch: 32,
+			PMFootprintBlocks: 256 << 10, DRAMFootprintBlocks: 32 << 10,
+			HotFraction: 0.05, HotProbability: 0.8,
+		},
+		{
+			Name: "btree", Class: Whisper,
+			PointerChase:    true,
+			ComputePerQuery: 2500,
+			PMReads:         5, PMWrites: 1, DRAMReads: 2, DRAMWrites: 1,
+			WriteRowLocality: 0.85, CleanBatch: 32,
+			PMFootprintBlocks: 256 << 10, DRAMFootprintBlocks: 32 << 10,
+			HotFraction: 0.05, HotProbability: 0.8,
+		},
+		{
+			Name: "rbtree", Class: Whisper,
+			PointerChase:    true,
+			ComputePerQuery: 2200,
+			PMReads:         6, PMWrites: 1, DRAMReads: 2, DRAMWrites: 1,
+			WriteRowLocality: 0.85, CleanBatch: 32,
+			PMFootprintBlocks: 256 << 10, DRAMFootprintBlocks: 32 << 10,
+			HotFraction: 0.05, HotProbability: 0.8,
+		},
+		{
+			Name: "hashmap", Class: Whisper,
+			ComputePerQuery: 3500,
+			PMReads:         2, PMWrites: 2, DRAMReads: 1, DRAMWrites: 1,
+			WriteRowLocality: 0.75, CleanBatch: 16,
+			PMFootprintBlocks: 512 << 10, DRAMFootprintBlocks: 16 << 10,
+			HotFraction: 0.0, HotProbability: 0.0,
+		},
+		{
+			Name: "vacation", Class: Whisper,
+			ComputePerQuery: 5000,
+			PMReads:         5, PMWrites: 1, DRAMReads: 5, DRAMWrites: 2,
+			WriteRowLocality: 0.90, CleanBatch: 128,
+			PMFootprintBlocks: 384 << 10, DRAMFootprintBlocks: 128 << 10,
+			HotFraction: 0.05, HotProbability: 0.5,
+		},
+		{
+			Name: "tpcc", Class: Whisper,
+			ComputePerQuery: 3500,
+			PMReads:         4, PMWrites: 2, DRAMReads: 5, DRAMWrites: 2,
+			WriteRowLocality: 0.92, CleanBatch: 128,
+			PMFootprintBlocks: 512 << 10, DRAMFootprintBlocks: 128 << 10,
+			HotFraction: 0.08, HotProbability: 0.7,
+		},
+		{
+			Name: "ycsb", Class: Whisper,
+			ComputePerQuery: 2500,
+			PMReads:         6, PMWrites: 1, DRAMReads: 3, DRAMWrites: 1,
+			WriteRowLocality: 0.85, CleanBatch: 64,
+			PMFootprintBlocks: 512 << 10, DRAMFootprintBlocks: 64 << 10,
+			HotFraction: 0.05, HotProbability: 0.8,
+		},
+	}
+}
+
+// SplashWorkloads returns the SPLASH3-under-ATLAS profiles.
+func SplashWorkloads() []Profile {
+	return []Profile{
+		{
+			Name: "barnes", Class: Splash,
+			ComputePerQuery: 4000,
+			PMReads:         10, PMWrites: 1, DRAMReads: 2, DRAMWrites: 1,
+			WriteRowLocality: 0.85, CleanBatch: 64,
+			PMFootprintBlocks: 1 << 20, DRAMFootprintBlocks: 16 << 10,
+			HotFraction: 0.02, HotProbability: 0.3,
+		},
+		{
+			Name: "fft", Class: Splash,
+			ComputePerQuery: 3000,
+			PMReads:         10, PMWrites: 2, DRAMReads: 1, DRAMWrites: 1,
+			WriteRowLocality: 0.97, CleanBatch: 64,
+			PMFootprintBlocks: 512 << 10, DRAMFootprintBlocks: 16 << 10,
+			HotFraction: 0.0, HotProbability: 0.0,
+		},
+		{
+			Name: "lu", Class: Splash,
+			ComputePerQuery: 4000,
+			PMReads:         8, PMWrites: 2, DRAMReads: 1, DRAMWrites: 1,
+			WriteRowLocality: 0.97, CleanBatch: 64,
+			PMFootprintBlocks: 384 << 10, DRAMFootprintBlocks: 16 << 10,
+			HotFraction: 0.3, HotProbability: 0.6,
+		},
+		{
+			Name: "ocean", Class: Splash,
+			ComputePerQuery: 2500,
+			PMReads:         12, PMWrites: 2, DRAMReads: 1, DRAMWrites: 1,
+			WriteRowLocality: 0.95, CleanBatch: 64,
+			PMFootprintBlocks: 1 << 20, DRAMFootprintBlocks: 16 << 10,
+			HotFraction: 0.0, HotProbability: 0.0,
+		},
+		{
+			Name: "radix", Class: Splash,
+			ComputePerQuery: 2500,
+			PMReads:         6, PMWrites: 2, DRAMReads: 1, DRAMWrites: 1,
+			WriteRowLocality: 0.90, CleanBatch: 64,
+			PMFootprintBlocks: 768 << 10, DRAMFootprintBlocks: 16 << 10,
+			HotFraction: 0.0, HotProbability: 0.0,
+		},
+		{
+			Name: "raytrace", Class: Splash,
+			ComputePerQuery: 5000,
+			PMReads:         10, PMWrites: 1, DRAMReads: 2, DRAMWrites: 1,
+			WriteRowLocality: 0.85, CleanBatch: 32,
+			PMFootprintBlocks: 512 << 10, DRAMFootprintBlocks: 32 << 10,
+			HotFraction: 0.1, HotProbability: 0.7,
+		},
+		{
+			Name: "volrend", Class: Splash,
+			ComputePerQuery: 4000,
+			PMReads:         8, PMWrites: 1, DRAMReads: 2, DRAMWrites: 1,
+			WriteRowLocality: 0.85, CleanBatch: 32,
+			PMFootprintBlocks: 384 << 10, DRAMFootprintBlocks: 32 << 10,
+			HotFraction: 0.2, HotProbability: 0.7,
+		},
+		{
+			Name: "water", Class: Splash,
+			ComputePerQuery: 4500,
+			PMReads:         6, PMWrites: 1, DRAMReads: 1, DRAMWrites: 1,
+			WriteRowLocality: 0.92, CleanBatch: 64,
+			PMFootprintBlocks: 256 << 10, DRAMFootprintBlocks: 16 << 10,
+			HotFraction: 0.3, HotProbability: 0.6,
+		},
+	}
+}
+
+// FindWorkload returns the profile with the given name.
+func FindWorkload(name string) (Profile, bool) {
+	for _, p := range Workloads() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

@@ -1,0 +1,222 @@
+// Package trace generates synthetic workload traces that stand in for the
+// paper's WHISPER persistent-memory benchmarks and SPLASH3-under-ATLAS
+// scientific workloads (Sec VI).
+//
+// Substitution note (see DESIGN.md): we cannot run the original binaries
+// under gem5, so each workload is a parameterised query loop whose knobs
+// are set from the benchmark's published character — compute per query
+// (network-bound services spend most of a query off the memory system),
+// read/write mix (Fig 14), pointer chasing (trees read from few banks at a
+// time), persistent-write row locality (which determines the C factor of
+// Fig 15), cleaning discipline (how promptly dirty persistent blocks are
+// clwb'd, which determines the dirty-PM cache occupancy of Fig 10), and
+// footprints. The performance mechanisms the paper measures act on exactly
+// these characteristics.
+package trace
+
+import (
+	"math/rand"
+
+	"chipkillpm/internal/cpu"
+)
+
+// Class distinguishes the two benchmark suites.
+type Class int
+
+// Workload classes.
+const (
+	Whisper Class = iota // single thread per process, IPC metric
+	Splash               // four threads, one process, FLOPS metric
+)
+
+func (c Class) String() string {
+	if c == Whisper {
+		return "WHISPER"
+	}
+	return "SPLASH3"
+}
+
+// Profile parameterises one workload.
+type Profile struct {
+	Name  string
+	Class Class
+
+	// ComputePerQuery is the mean number of non-memory instructions per
+	// query (network processing, computation). Network-bound services
+	// (echo, memcached, redis, vacation) have large values, making them
+	// insensitive to memory write latency (Sec VII).
+	ComputePerQuery int
+
+	// Mean memory operations per query.
+	PMReads, PMWrites, DRAMReads, DRAMWrites float64
+
+	// PointerChase serialises PM reads (tree traversals), reading from
+	// few banks at a time (Sec VII's explanation for ctree/btree/rbtree).
+	PointerChase bool
+
+	// WriteRowLocality is the probability that the next PM write falls in
+	// the row of the previous one; high locality lets the EUR coalesce
+	// VLEW code updates (low C factor, Fig 15).
+	WriteRowLocality float64
+
+	// CleanBatch is the application's write-behind window: how many dirty
+	// persistent blocks it keeps outstanding before cleaning the oldest
+	// with clwb. 1 models eager clwb-after-store; larger values leave
+	// dirty PM blocks resident in the hierarchy (Fig 10).
+	CleanBatch int
+
+	// Footprints in 64-byte blocks.
+	PMFootprintBlocks   int64
+	DRAMFootprintBlocks int64
+
+	// HotFraction of the footprint receives HotProbability of accesses.
+	HotFraction    float64
+	HotProbability float64
+}
+
+// Stream produces the operation sequence of one hardware context.
+type Stream struct {
+	prof     Profile
+	rng      *rand.Rand
+	pmBase   uint64
+	dramBase uint64
+
+	pending   []uint64 // PM blocks written but not yet cleaned
+	lastWrite uint64   // last PM write address (for row locality)
+	queue     []cpu.Op
+}
+
+// blockBytes and rowBytes mirror the system configuration (64B blocks,
+// 128-block rows).
+const (
+	blockBytes   = 64
+	blocksPerRow = 128
+)
+
+// NewStream builds a context's stream. pmBase/dramBase are the base
+// addresses of the context's private slices of persistent memory and
+// DRAM; seed fixes the sequence.
+func NewStream(p Profile, pmBase, dramBase uint64, seed int64) *Stream {
+	if p.CleanBatch < 1 {
+		p.CleanBatch = 1
+	}
+	return &Stream{
+		prof:     p,
+		rng:      rand.New(rand.NewSource(seed)),
+		pmBase:   pmBase,
+		dramBase: dramBase,
+	}
+}
+
+// Profile returns the stream's profile.
+func (s *Stream) Profile() Profile { return s.prof }
+
+// sampleCount draws a count with the given mean (geometric-ish mix of
+// floor/ceil so non-integer means average out).
+func (s *Stream) sampleCount(mean float64) int {
+	n := int(mean)
+	if s.rng.Float64() < mean-float64(n) {
+		n++
+	}
+	return n
+}
+
+// pmAddr picks a PM block address using the hot-set distribution.
+func (s *Stream) pmAddr() uint64 {
+	return s.pmBase + s.pickBlock(s.prof.PMFootprintBlocks)*blockBytes
+}
+
+func (s *Stream) dramAddr() uint64 {
+	return s.dramBase + s.pickBlock(s.prof.DRAMFootprintBlocks)*blockBytes
+}
+
+func (s *Stream) pickBlock(footprint int64) uint64 {
+	if footprint <= 0 {
+		return 0
+	}
+	hf := s.prof.HotFraction
+	if hf > 0 && s.rng.Float64() < s.prof.HotProbability {
+		hot := int64(float64(footprint) * hf)
+		if hot < 1 {
+			hot = 1
+		}
+		return uint64(s.rng.Int63n(hot))
+	}
+	return uint64(s.rng.Int63n(footprint))
+}
+
+// pmWriteAddr picks the next PM write target honouring write locality:
+// with probability WriteRowLocality the write appends sequentially after
+// the previous one (log/array-sweep behaviour, which keeps consecutive
+// writes in the same VLEW and row), otherwise it jumps randomly.
+func (s *Stream) pmWriteAddr() uint64 {
+	if s.lastWrite != 0 && s.rng.Float64() < s.prof.WriteRowLocality {
+		next := s.lastWrite + blockBytes
+		limit := s.pmBase + uint64(s.prof.PMFootprintBlocks)*blockBytes
+		if next >= limit {
+			next = s.pmBase
+		}
+		s.lastWrite = next
+		return next
+	}
+	addr := s.pmAddr()
+	s.lastWrite = addr
+	return addr
+}
+
+// Next returns the next operation.
+func (s *Stream) Next() cpu.Op {
+	if len(s.queue) == 0 {
+		s.generateQuery()
+	}
+	op := s.queue[0]
+	s.queue = s.queue[1:]
+	return op
+}
+
+// generateQuery emits one query's operations into the queue, interleaving
+// compute between memory operations the way real code does (address
+// computation, comparisons, allocation, logging around each access).
+func (s *Stream) generateQuery() {
+	p := s.prof
+
+	var mem []cpu.Op
+	for i, n := 0, s.sampleCount(p.DRAMReads); i < n; i++ {
+		mem = append(mem, cpu.Op{Kind: cpu.Load, Addr: s.dramAddr()})
+	}
+	for i, n := 0, s.sampleCount(p.PMReads); i < n; i++ {
+		mem = append(mem, cpu.Op{Kind: cpu.Load, Addr: s.pmAddr(), Dep: p.PointerChase})
+	}
+	for i, n := 0, s.sampleCount(p.DRAMWrites); i < n; i++ {
+		mem = append(mem, cpu.Op{Kind: cpu.Store, Addr: s.dramAddr()})
+	}
+	for i, n := 0, s.sampleCount(p.PMWrites); i < n; i++ {
+		addr := s.pmWriteAddr()
+		mem = append(mem, cpu.Op{Kind: cpu.Store, Addr: addr})
+		// Write-behind cleaning: the application keeps at most CleanBatch
+		// dirty persistent blocks outstanding, cleaning the oldest once
+		// the window fills. CleanBatch=1 models eager clwb-after-store.
+		s.pending = append(s.pending, addr)
+		for len(s.pending) >= p.CleanBatch {
+			mem = append(mem, cpu.Op{Kind: cpu.Clwb, Addr: s.pending[0]})
+			s.pending = s.pending[1:]
+		}
+	}
+	// Shuffle memory ops (dependent loads keep relative order among
+	// themselves because Dep chains on the previous load regardless).
+	s.rng.Shuffle(len(mem), func(i, j int) { mem[i], mem[j] = mem[j], mem[i] })
+
+	// Jitter compute +/-25% and spread it between the memory ops.
+	total := p.ComputePerQuery*3/4 + s.rng.Intn(p.ComputePerQuery/2+1)
+	chunks := len(mem) + 1
+	per := total / chunks
+	for _, m := range mem {
+		if per > 0 {
+			s.queue = append(s.queue, cpu.Op{Kind: cpu.Compute, N: per})
+		}
+		s.queue = append(s.queue, m)
+	}
+	if rem := total - per*len(mem); rem > 0 {
+		s.queue = append(s.queue, cpu.Op{Kind: cpu.Compute, N: rem})
+	}
+}
