@@ -1,0 +1,31 @@
+# Standard entry points; scripts/check.sh is the single source of truth
+# for what "passing" means.
+
+.PHONY: all build test race bench check check-quick
+
+all: build
+
+build:
+	go build ./...
+
+test:
+	go test ./... -count=1
+
+race:
+	go test -race -count=1 ./internal/core/... ./internal/rank/...
+
+# Kernel microbenchmarks (per-package, human-readable).
+bench:
+	go test -run xxx -bench Kernel -benchmem ./internal/gf/ ./internal/bch/ ./internal/rs/
+
+# Refresh BENCH_kernels.json and fail on fast-path speedup regressions.
+BENCH_kernels.json: FORCE
+	go run ./cmd/benchkernels -check
+
+check:
+	sh scripts/check.sh
+
+check-quick:
+	sh scripts/check.sh -quick
+
+FORCE:

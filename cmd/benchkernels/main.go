@@ -1,0 +1,338 @@
+// Command benchkernels is the kernel-performance regression harness. It
+// measures the table-driven ECC kernels against the retained reference
+// implementations (bit-serial BCH, polynomial-division RS) plus the full
+// boot scrub, and writes the results as JSON — by convention committed as
+// BENCH_kernels.json at the repo root.
+//
+// Two kinds of comparison appear in the output:
+//
+//   - speedup_vs_ref: fast path vs the reference oracle, both measured in
+//     this run. Machine-independent to first order; this is what -check
+//     enforces (BCH encode and syndromes >= 5x).
+//   - speedup_vs_seed: fast path vs a frozen ns/op measured at the growth
+//     seed (pre-optimization tree) on the original 2.10 GHz Xeon. Only
+//     meaningful on comparable hardware; informational elsewhere.
+//
+// Usage:
+//
+//	go run ./cmd/benchkernels [-out BENCH_kernels.json] [-benchtime 1s] [-check]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"chipkillpm/internal/bch"
+	"chipkillpm/internal/core"
+	"chipkillpm/internal/rank"
+	"chipkillpm/internal/rs"
+)
+
+// Seed baselines: ns/op of the same operations measured at the growth seed
+// (commit "v0", byte-serial BCH / polynomial-division RS / serial scrub) on
+// an Intel Xeon @ 2.10 GHz, GOMAXPROCS=1, go1.22.
+var seedNs = map[string]float64{
+	"bch/Encode":       53741,
+	"bch/EncodeDelta":  27894,
+	"bch/Syndromes":    187502,
+	"bch/DecodeE2":     367266,
+	"rs/Encode":        3037,
+	"rs/Syndromes":     3470,
+	"rs/DecodeErrors":  7640,
+	"rs/DecodeErasure": 9647,
+	"core/BootScrub":   13140620,
+}
+
+// floors are the -check regression gates on live fast-vs-reference ratios.
+var floors = map[string]float64{
+	"bch/Encode":    5,
+	"bch/Syndromes": 5,
+}
+
+type result struct {
+	Name          string  `json:"name"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	RefName       string  `json:"ref_name,omitempty"`
+	RefNsPerOp    float64 `json:"ref_ns_per_op,omitempty"`
+	SpeedupVsRef  float64 `json:"speedup_vs_ref,omitempty"`
+	SeedNsPerOp   float64 `json:"seed_ns_per_op,omitempty"`
+	SpeedupVsSeed float64 `json:"speedup_vs_seed,omitempty"`
+}
+
+type report struct {
+	GoVersion  string   `json:"go_version"`
+	GoArch     string   `json:"go_arch"`
+	GoMaxProcs int      `json:"go_max_procs"`
+	SeedNote   string   `json:"seed_note"`
+	Results    []result `json:"results"`
+}
+
+func measure(name string, fn func(b *testing.B)) result {
+	r := testing.Benchmark(fn)
+	return result{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// pair measures a fast kernel and its reference oracle and links them.
+func pair(name, refName string, fast, ref func(b *testing.B)) result {
+	f := measure(name, fast)
+	r := measure(refName, ref)
+	f.RefName = refName
+	f.RefNsPerOp = r.NsPerOp
+	f.SpeedupVsRef = r.NsPerOp / f.NsPerOp
+	return f
+}
+
+func bchResults() []result {
+	c := bch.Must(12, 2048, 22)
+	data := make([]byte, c.DataBytes())
+	rand.New(rand.NewSource(1)).Read(data)
+	delta := make([]byte, 8)
+	rand.New(rand.NewSource(2)).Read(delta)
+
+	decode := func(e int) func(b *testing.B) {
+		return func(b *testing.B) {
+			d := append([]byte(nil), data...)
+			parity := c.Encode(d)
+			positions := rand.New(rand.NewSource(int64(e))).Perm(c.N())[:e]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, p := range positions {
+					if p < c.ParityBits() {
+						parity[p/8] ^= 1 << uint(p%8)
+					} else {
+						d[(p-c.ParityBits())/8] ^= 1 << uint((p-c.ParityBits())%8)
+					}
+				}
+				if fixed, err := c.Decode(d, parity); err != nil || fixed != e {
+					b.Fatalf("decode: fixed=%d err=%v", fixed, err)
+				}
+			}
+		}
+	}
+
+	out := []result{
+		pair("bch/Encode", "bch/EncodeBitSerial",
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					c.Encode(data)
+				}
+			},
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					c.EncodeBitSerial(data)
+				}
+			}),
+		pair("bch/EncodeDelta", "bch/EncodeDeltaBitSerial",
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					c.EncodeDelta(delta, 1024)
+				}
+			},
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					c.EncodeDeltaBitSerial(delta, 1024)
+				}
+			}),
+	}
+
+	dirty := append([]byte(nil), data...)
+	parity := c.Encode(dirty)
+	dirty[5] ^= 0x10
+	out = append(out, pair("bch/Syndromes", "bch/SyndromesBitSerial",
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.Syndromes(dirty, parity)
+			}
+		},
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.SyndromesBitSerial(dirty, parity)
+			}
+		}))
+
+	clean := append([]byte(nil), data...)
+	cleanParity := c.Encode(clean)
+	out = append(out, measure("bch/CheckClean", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !c.CheckClean(clean, cleanParity) {
+				b.Fatal("clean word reported dirty")
+			}
+		}
+	}))
+	for _, e := range []int{1, 2, 3, 22} {
+		out = append(out, measure(fmt.Sprintf("bch/DecodeE%d", e), decode(e)))
+	}
+	return out
+}
+
+func rsResults() []result {
+	c := rs.Must(64, 8)
+	data := make([]byte, c.K())
+	rand.New(rand.NewSource(1)).Read(data)
+	check := c.Encode(data)
+
+	out := []result{
+		pair("rs/Encode", "rs/EncodePolyDiv",
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					c.Encode(data)
+				}
+			},
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					c.EncodePolyDiv(data)
+				}
+			}),
+		measure("rs/Check", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !c.Check(data, check) {
+					b.Fatal("clean block reported dirty")
+				}
+			}
+		}),
+	}
+
+	dirty := append([]byte(nil), data...)
+	dirty[3] ^= 0xA5
+	out = append(out, measure("rs/Syndromes", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.SyndromesHorner(dirty, check)
+		}
+	}))
+
+	out = append(out, measure("rs/DecodeErrors", func(b *testing.B) {
+		d := append([]byte(nil), data...)
+		for i := 0; i < b.N; i++ {
+			d[5] ^= 0x3C
+			d[40] ^= 0x81
+			if corr, err := c.Decode(d, check, nil); err != nil || len(corr) != 2 {
+				b.Fatalf("corr=%d err=%v", len(corr), err)
+			}
+		}
+	}))
+	out = append(out, measure("rs/DecodeErasure", func(b *testing.B) {
+		d := append([]byte(nil), data...)
+		erasures := []int{8, 9, 10, 11, 12, 13, 14, 15} // one failed chip
+		for i := 0; i < b.N; i++ {
+			for _, p := range erasures {
+				d[p] = 0
+			}
+			if _, err := c.Decode(d, check, erasures); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	return out
+}
+
+// scrubResult mirrors the repo-root BenchmarkBootScrub: a 2-bank, 8-row rank
+// that sat a week without refresh (RBER 1e-3), re-injected every iteration.
+func scrubResult(name string, workers int) result {
+	return measure(name, func(b *testing.B) {
+		r, err := rank.New(rank.PaperConfig(2, 8, 1024, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.ScrubWorkers = workers
+		ctrl, err := core.NewController(r, cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]byte, 64)
+		for blk := int64(0); blk < r.Blocks(); blk++ {
+			ctrl.WriteBlockInitial(blk, buf)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			r.InjectRetentionErrors(1e-3)
+			b.StartTimer()
+			if rep := ctrl.BootScrub(); rep.Unrecoverable {
+				b.Fatal("scrub failed")
+			}
+		}
+	})
+}
+
+func main() {
+	out := flag.String("out", "BENCH_kernels.json", "output file (- for stdout)")
+	benchtime := flag.Duration("benchtime", 0, "per-benchmark time (0: testing default)")
+	check := flag.Bool("check", false, "exit non-zero when a fast/reference ratio drops below its floor")
+	flag.Parse()
+	if *benchtime > 0 {
+		flag.Set("test.benchtime", benchtime.String())
+	}
+
+	rep := report{
+		GoVersion:  runtime.Version(),
+		GoArch:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		SeedNote: "seed_ns_per_op frozen from the pre-optimization growth seed " +
+			"on an Intel Xeon @ 2.10 GHz (GOMAXPROCS=1, go1.22); " +
+			"speedup_vs_seed is only meaningful on comparable hardware",
+	}
+	rep.Results = append(rep.Results, bchResults()...)
+	rep.Results = append(rep.Results, rsResults()...)
+	rep.Results = append(rep.Results, scrubResult("core/BootScrub", 1))
+	if runtime.GOMAXPROCS(0) > 1 {
+		rep.Results = append(rep.Results,
+			scrubResult(fmt.Sprintf("core/BootScrubW%d", runtime.GOMAXPROCS(0)), 0))
+	}
+
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		if seed, ok := seedNs[r.Name]; ok {
+			r.SeedNsPerOp = seed
+			r.SpeedupVsSeed = seed / r.NsPerOp
+		}
+	}
+
+	failed := false
+	for _, r := range rep.Results {
+		if floor, ok := floors[r.Name]; ok && r.SpeedupVsRef < floor {
+			fmt.Fprintf(os.Stderr, "REGRESSION: %s is only %.2fx its reference %s (floor %.0fx)\n",
+				r.Name, r.SpeedupVsRef, r.RefName, floor)
+			failed = true
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	for _, r := range rep.Results {
+		fmt.Printf("%-22s %12.1f ns/op  %3d allocs", r.Name, r.NsPerOp, r.AllocsPerOp)
+		if r.SpeedupVsRef > 0 {
+			fmt.Printf("  %7.1fx vs %s", r.SpeedupVsRef, r.RefName)
+		}
+		if r.SpeedupVsSeed > 0 {
+			fmt.Printf("  %6.1fx vs seed", r.SpeedupVsSeed)
+		}
+		fmt.Println()
+	}
+	if *check && failed {
+		os.Exit(1)
+	}
+}

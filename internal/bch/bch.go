@@ -17,6 +17,7 @@ package bch
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"chipkillpm/internal/gf"
 )
@@ -26,8 +27,10 @@ import (
 var ErrUncorrectable = errors.New("bch: uncorrectable error pattern")
 
 // Code is a binary (n, k) BCH code with designed error-correction
-// capability t, built over GF(2^m). It is immutable and safe for
-// concurrent use.
+// capability t, built over GF(2^m). Its parameters are immutable and all
+// methods are safe for concurrent use: the lookup tables behind the fast
+// encode/decode paths are built once (eagerly for encoding, lazily for
+// decoding) and per-call working memory comes from an internal pool.
 type Code struct {
 	field *gf.Field
 	m     uint
@@ -36,6 +39,11 @@ type Code struct {
 	r     int // parity bits = deg(generator)
 	n     int // codeword bits = k + r (shortened from 2^m-1)
 	gen   gf.Poly2
+
+	enc     *encTables // byte-wise LFSR tables; nil when r < 8
+	decOnce sync.Once
+	dec     *decTables // syndrome/Chien/quadratic tables, built on demand
+	scratch sync.Pool  // *decodeScratch
 }
 
 // New constructs a binary BCH code over GF(2^m) that protects k data bits
@@ -61,7 +69,9 @@ func New(m uint, k, t int) (*Code, error) {
 		return nil, fmt.Errorf("bch: k+r = %d+%d exceeds 2^%d-1 = %d; use a larger m",
 			k, r, m, field.N())
 	}
-	return &Code{field: field, m: m, t: t, k: k, r: r, n: k + r, gen: gen}, nil
+	c := &Code{field: field, m: m, t: t, k: k, r: r, n: k + r, gen: gen}
+	c.enc = c.buildEncTables()
+	return c, nil
 }
 
 // Must is New but panics on error; for initialising known-good codes.
@@ -135,11 +145,34 @@ func (c *Code) Generator() gf.Poly2 { return c.gen.Clone() }
 // Encode computes the parity bytes for data. len(data) must be exactly
 // DataBytes(); when k is not a byte multiple the unused high bits of the
 // last byte must be zero. The returned slice has ParityBytes() bytes.
+//
+// The computation streams data through a 256-entry byte-at-a-time LFSR
+// remainder table; EncodeBitSerial is the retained reference
+// implementation.
 func (c *Code) Encode(data []byte) []byte {
 	if len(data) != c.DataBytes() {
 		panic(fmt.Sprintf("bch: Encode: got %d data bytes, want %d", len(data), c.DataBytes()))
 	}
-	// Systematic encoding: parity(x) = (data(x) * x^r) mod g(x).
+	if c.enc == nil {
+		return c.EncodeBitSerial(data)
+	}
+	sc := c.getScratch()
+	c.enc.remainder(sc.state, data)
+	out := make([]byte, c.ParityBytes())
+	stateBytes(sc.state, out)
+	c.putScratch(sc)
+	return out
+}
+
+// EncodeBitSerial is the original bit-serial systematic encoder:
+// parity(x) = (data(x) * x^r) mod g(x) via generic polynomial division.
+// It is retained as the differential-testing oracle and as the fallback
+// for degenerate codes with fewer than 8 parity bits; production callers
+// use Encode.
+func (c *Code) EncodeBitSerial(data []byte) []byte {
+	if len(data) != c.DataBytes() {
+		panic(fmt.Sprintf("bch: Encode: got %d data bytes, want %d", len(data), c.DataBytes()))
+	}
 	p := gf.Poly2FromBytes(data).Shl(c.r).Mod(c.gen)
 	return p.Bytes(c.ParityBytes())
 }
@@ -151,7 +184,43 @@ func (c *Code) Encode(data []byte) []byte {
 // data. This is the operation the paper embeds in NVRAM chips (Fig. 11):
 // the chip receives the bitwise sum of old and new data and updates the
 // VLEW code bits without knowing either value in full.
+//
+// Byte-aligned offsets (every caller in this repository; chips address
+// whole bytes) take the table-driven path: the delta streams through the
+// LFSR followed by bitOffset/8 zero-feed steps for the x^bitOffset shift.
+// Unaligned offsets fall back to EncodeDeltaBitSerial.
 func (c *Code) EncodeDelta(delta []byte, bitOffset int) []byte {
+	if bitOffset < 0 || bitOffset+8*len(delta) > c.k {
+		panic(fmt.Sprintf("bch: EncodeDelta: %d bytes at bit offset %d overflow k=%d", len(delta), bitOffset, c.k))
+	}
+	if c.enc == nil || bitOffset%8 != 0 {
+		return c.EncodeDeltaBitSerial(delta, bitOffset)
+	}
+	sc := c.getScratch()
+	c.enc.remainder(sc.state, delta)
+	// Multiply by x^bitOffset: feed zero bytes. A zero state stays zero.
+	zero := true
+	for _, w := range sc.state {
+		if w != 0 {
+			zero = false
+			break
+		}
+	}
+	if !zero {
+		for s := bitOffset / 8; s > 0; s-- {
+			c.enc.step(sc.state, 0)
+		}
+	}
+	out := make([]byte, c.ParityBytes())
+	stateBytes(sc.state, out)
+	c.putScratch(sc)
+	return out
+}
+
+// EncodeDeltaBitSerial is the original bit-serial delta encoder, retained
+// as the differential-testing oracle and the fallback for bit-unaligned
+// offsets; production callers use EncodeDelta.
+func (c *Code) EncodeDeltaBitSerial(delta []byte, bitOffset int) []byte {
 	if bitOffset < 0 || bitOffset+8*len(delta) > c.k {
 		panic(fmt.Sprintf("bch: EncodeDelta: %d bytes at bit offset %d overflow k=%d", len(delta), bitOffset, c.k))
 	}
@@ -170,10 +239,31 @@ func (c *Code) XORParity(dst, src []byte) {
 	}
 }
 
-// syndromes evaluates the received word at alpha^1..alpha^2t. The received
-// word is data || parity with parity occupying degrees 0..r-1 and data bit
-// i at degree r+i. Returns true when all syndromes are zero.
-func (c *Code) syndromes(data, parity []byte) ([]gf.Elem, bool) {
+// Syndromes evaluates the received word at alpha^1..alpha^2t and reports
+// whether all syndromes are zero (i.e. the word is a codeword). The
+// received word is data || parity with parity occupying degrees 0..r-1 and
+// data bit i at degree r+i.
+//
+// The fast path reduces the word modulo g(x) with the byte-wise LFSR and
+// evaluates only the r-bit remainder — valid because alpha^1..alpha^2t are
+// roots of g — tabulating odd syndromes per remainder byte and deriving
+// even ones by squaring (S_2e = S_e^2 in characteristic 2).
+func (c *Code) Syndromes(data, parity []byte) ([]gf.Elem, bool) {
+	if len(data) != c.DataBytes() || len(parity) != c.ParityBytes() {
+		panic(fmt.Sprintf("bch: Syndromes: got %d data bytes and %d parity bytes, want %d and %d",
+			len(data), len(parity), c.DataBytes(), c.ParityBytes()))
+	}
+	syn := make([]gf.Elem, 2*c.t)
+	sc := c.getScratch()
+	clean := c.syndromesInto(syn, data, parity, sc)
+	c.putScratch(sc)
+	return syn, clean
+}
+
+// SyndromesBitSerial is the original per-set-bit syndrome evaluation,
+// retained as the differential-testing oracle and the fallback for codes
+// without byte-wise tables; production callers use Syndromes.
+func (c *Code) SyndromesBitSerial(data, parity []byte) ([]gf.Elem, bool) {
 	syn := make([]gf.Elem, 2*c.t)
 	clean := true
 	addBit := func(deg int) {
@@ -205,43 +295,6 @@ func (c *Code) syndromes(data, parity []byte) ([]gf.Elem, bool) {
 		}
 	}
 	return syn, clean
-}
-
-// berlekampMassey returns the error-locator polynomial sigma for the given
-// syndromes.
-func (c *Code) berlekampMassey(syn []gf.Elem) gf.Poly {
-	f := c.field
-	sigma := gf.Poly{1}
-	prev := gf.Poly{1}
-	l := 0
-	shift := 1
-	b := gf.Elem(1)
-	for i := 0; i < len(syn); i++ {
-		// Discrepancy d = S_i + sum_{j=1..l} sigma_j * S_{i-j}.
-		d := syn[i]
-		for j := 1; j <= l && j < len(sigma); j++ {
-			if i-j >= 0 {
-				d ^= f.Mul(sigma[j], syn[i-j])
-			}
-		}
-		if d == 0 {
-			shift++
-			continue
-		}
-		scale := f.Div(d, b)
-		adj := f.PolyMulXk(f.PolyScale(prev, scale), shift)
-		next := f.PolyAdd(sigma, adj)
-		if 2*l <= i {
-			prev = sigma
-			b = d
-			l = i + 1 - l
-			shift = 1
-		} else {
-			shift++
-		}
-		sigma = next
-	}
-	return sigma
 }
 
 // chien finds all error positions (bit degrees in the received polynomial)
@@ -279,15 +332,17 @@ func (c *Code) Decode(data, parity []byte) (int, error) {
 		return 0, fmt.Errorf("bch: Decode: got %d data bytes and %d parity bytes, want %d and %d",
 			len(data), len(parity), c.DataBytes(), c.ParityBytes())
 	}
-	syn, clean := c.syndromes(data, parity)
-	if clean {
+	sc := c.getScratch()
+	defer c.putScratch(sc)
+	syn := sc.syn
+	if c.syndromesInto(syn, data, parity, sc) {
 		return 0, nil
 	}
-	sigma := c.berlekampMassey(syn)
+	sigma := c.berlekampMasseyFast(syn, sc)
 	if gf.PolyDeg(sigma) > c.t {
 		return 0, ErrUncorrectable
 	}
-	positions, ok := c.chien(sigma)
+	positions, ok := c.findRoots(sigma, sc)
 	if !ok {
 		return 0, ErrUncorrectable
 	}
@@ -300,26 +355,44 @@ func (c *Code) Decode(data, parity []byte) (int, error) {
 		}
 	}
 	// Guard against residual errors: with e <= t genuine errors the
-	// corrected word is a codeword; verify cheaply via syndromes.
-	if _, clean := c.syndromes(data, parity); !clean {
-		for _, p := range positions { // roll back
-			if p < c.r {
-				parity[p/8] ^= 1 << uint(p%8)
-			} else {
-				d := p - c.r
-				data[d/8] ^= 1 << uint(d%8)
-			}
+	// corrected word is a codeword. Rather than re-evaluating the whole
+	// word, fold each flipped bit's contribution alpha^(p*e) into the
+	// syndromes — flipping bit p changes S_e by exactly that term — and
+	// check that all 2t syndromes cancel.
+	f := c.field
+	for _, p := range positions {
+		a := f.Exp(p)
+		acc := gf.Elem(1)
+		for j := range syn {
+			acc = f.Mul(acc, a)
+			syn[j] ^= acc
 		}
-		return 0, ErrUncorrectable
+	}
+	for _, s := range syn {
+		if s != 0 {
+			for _, p := range positions { // roll back
+				if p < c.r {
+					parity[p/8] ^= 1 << uint(p%8)
+				} else {
+					d := p - c.r
+					data[d/8] ^= 1 << uint(d%8)
+				}
+			}
+			return 0, ErrUncorrectable
+		}
 	}
 	return len(positions), nil
 }
 
 // CheckClean reports whether data||parity is a codeword (no errors
-// detected), without attempting correction.
+// detected), without attempting correction. It costs one byte-wise
+// remainder computation — no syndrome evaluation.
 func (c *Code) CheckClean(data, parity []byte) bool {
-	_, clean := c.syndromes(data, parity)
-	return clean
+	if len(data) != c.DataBytes() || len(parity) != c.ParityBytes() {
+		panic(fmt.Sprintf("bch: CheckClean: got %d data bytes and %d parity bytes, want %d and %d",
+			len(data), len(parity), c.DataBytes(), c.ParityBytes()))
+	}
+	return c.isCodeword(data, parity)
 }
 
 // String implements fmt.Stringer.

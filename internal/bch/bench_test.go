@@ -1,0 +1,130 @@
+package bch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Kernel microbenchmarks at the paper-relevant shape: the 256 B VLEW code
+// BCH(m=12, k=2048, t=22). The *BitSerial benchmarks measure the retained
+// reference implementations so one `go test -bench=Kernel` run shows the
+// before/after story; cmd/benchkernels turns the same pairs into
+// BENCH_kernels.json.
+
+func paperCode() *Code { return Must(12, 2048, 22) }
+
+func benchData(c *Code) []byte {
+	data := make([]byte, c.DataBytes())
+	rand.New(rand.NewSource(1)).Read(data)
+	return data
+}
+
+func BenchmarkKernelEncode(b *testing.B) {
+	c := paperCode()
+	data := benchData(c)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Encode(data)
+	}
+}
+
+func BenchmarkKernelEncodeBitSerial(b *testing.B) {
+	c := paperCode()
+	data := benchData(c)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.EncodeBitSerial(data)
+	}
+}
+
+func BenchmarkKernelEncodeDelta(b *testing.B) {
+	c := paperCode()
+	delta := make([]byte, 8) // one chip-access worth of changed bytes
+	rand.New(rand.NewSource(2)).Read(delta)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.EncodeDelta(delta, 1024)
+	}
+}
+
+func BenchmarkKernelEncodeDeltaBitSerial(b *testing.B) {
+	c := paperCode()
+	delta := make([]byte, 8)
+	rand.New(rand.NewSource(2)).Read(delta)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.EncodeDeltaBitSerial(delta, 1024)
+	}
+}
+
+func BenchmarkKernelSyndromes(b *testing.B) {
+	c := paperCode()
+	data := benchData(c)
+	parity := c.Encode(data)
+	data[5] ^= 0x10
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Syndromes(data, parity)
+	}
+}
+
+func BenchmarkKernelSyndromesBitSerial(b *testing.B) {
+	c := paperCode()
+	data := benchData(c)
+	parity := c.Encode(data)
+	data[5] ^= 0x10
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.SyndromesBitSerial(data, parity)
+	}
+}
+
+func BenchmarkKernelCheckCleanClean(b *testing.B) {
+	c := paperCode()
+	data := benchData(c)
+	parity := c.Encode(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.CheckClean(data, parity) {
+			b.Fatal("clean word reported dirty")
+		}
+	}
+}
+
+// benchmarkDecode measures a full decode correcting e errors.
+func benchmarkDecode(b *testing.B, e int) {
+	c := paperCode()
+	data := benchData(c)
+	parity := c.Encode(data)
+	rng := rand.New(rand.NewSource(int64(e)))
+	positions := rng.Perm(c.N())[:e]
+	flip := func() {
+		for _, p := range positions {
+			if p < c.ParityBits() {
+				parity[p/8] ^= 1 << uint(p%8)
+			} else {
+				d := p - c.ParityBits()
+				data[d/8] ^= 1 << uint(d%8)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flip()
+		fixed, err := c.Decode(data, parity)
+		if err != nil || fixed != e {
+			b.Fatalf("decode: fixed=%d err=%v", fixed, err)
+		}
+	}
+}
+
+func BenchmarkKernelDecodeE1(b *testing.B)  { benchmarkDecode(b, 1) }
+func BenchmarkKernelDecodeE2(b *testing.B)  { benchmarkDecode(b, 2) }
+func BenchmarkKernelDecodeE3(b *testing.B)  { benchmarkDecode(b, 3) }
+func BenchmarkKernelDecodeE4(b *testing.B)  { benchmarkDecode(b, 4) }
+func BenchmarkKernelDecodeE22(b *testing.B) { benchmarkDecode(b, 22) }

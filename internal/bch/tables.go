@@ -1,0 +1,621 @@
+package bch
+
+import (
+	"math/bits"
+	"sort"
+
+	"chipkillpm/internal/gf"
+)
+
+// This file implements the table-driven fast paths for encoding and
+// decoding. The reference bit-serial implementations remain in bch.go
+// (EncodeBitSerial, SyndromesBitSerial, ...) both as differential-test
+// oracles and as fallbacks for degenerate codes with fewer than 8 parity
+// bits, where byte-at-a-time processing does not apply.
+//
+// Three precomputed structures carry the speedup:
+//
+//   - An LFSR remainder table: 256 entries of u(x)*x^r mod g(x), one per
+//     input byte value. Encode and the decoder's codeword check stream
+//     data through it one byte per step instead of one bit per step.
+//   - Per-byte-position syndrome tables over the r-bit remainder
+//     D(x) = data(x)*x^r + parity(x) mod g(x). Because g | x^n - 1 has
+//     alpha^1..alpha^2t as roots, S_e(received) = D(alpha^e), so
+//     syndromes are evaluated over ParityBytes() bytes instead of the
+//     whole codeword. Only odd-index syndromes are tabulated; even ones
+//     follow from S_2e = S_e^2 in characteristic 2.
+//   - Chien-search step tables (multiplication tables for alpha^-i) plus
+//     closed-form root extraction for degree-1 and degree-2 locators,
+//     which dominate scrub workloads at realistic bit error rates.
+
+// encTables drive the byte-at-a-time LFSR for Encode/EncodeDelta and the
+// decoder's remainder computation.
+type encTables struct {
+	w      int      // uint64 words per r-bit LFSR state
+	tab    []uint64 // 256 rows of w words: tab[u] = u(x)*x^r mod g
+	loWord int      // word holding bit r-8 (start of the outgoing byte)
+	loOff  uint     // offset of bit r-8 within loWord
+	split  bool     // outgoing byte straddles loWord and loWord+1
+}
+
+// quadNone marks "no solution" entries of the quadratic-root table; the
+// same sentinel marks non-cubes in the cube-root table.
+const quadNone gf.Elem = 0xFFFF
+
+// decTables hold everything the fast decode path needs.
+type decTables struct {
+	pb       int           // parity bytes, the remainder width
+	lastMask byte          // valid-bit mask for the top parity byte
+	synTab   []gf.Elem     // [pb][256][t] odd-syndrome contributions, flattened
+	step     []gf.MulTable // step[i]: multiply by alpha^-(i+1), for Chien scan
+	quad     []gf.Elem     // quad[c] = y solving y^2+y=c, or quadNone
+	cbrt     []gf.Elem     // cbrt[c] = one y with y^3=c, or quadNone
+}
+
+// decodeScratch is the per-call working set, pooled on the Code so that
+// concurrent decoders (the parallel boot scrub) share no state yet steady-
+// state decoding allocates nothing.
+type decodeScratch struct {
+	state     []uint64  // LFSR state, enc.w words
+	rem       []byte    // remainder bytes, pb
+	syn       []gf.Elem // 2t syndromes
+	bmSigma   []gf.Elem // Berlekamp-Massey buffers, 4t+2 each
+	bmPrev    []gf.Elem
+	bmNext    []gf.Elem
+	sigmaWork []gf.Elem // root finding: deflated locator, t+1
+	terms     []gf.Elem // root finding: Chien term registers, t+1
+	positions []int     // found error positions, cap 2t
+}
+
+// buildEncTables constructs the byte-wise LFSR table, or returns nil for
+// codes with r < 8 where the byte-serial recurrence does not hold.
+func (c *Code) buildEncTables() *encTables {
+	if c.r < 8 {
+		return nil
+	}
+	w := (c.r + 63) / 64
+	e := &encTables{
+		w:      w,
+		tab:    make([]uint64, 256*w),
+		loWord: (c.r - 8) / 64,
+		loOff:  uint((c.r - 8) % 64),
+	}
+	e.split = (c.r-1)/64 != e.loWord
+
+	// bitRem[b] = x^(r+b) mod g for b = 0..7, each w words.
+	var bitRem [8][]uint64
+	cur := make([]uint64, w)
+	// x^r mod g = g(x) - x^r: the generator with its leading bit cleared.
+	// When r%64 == 0 the leading bit lives in word w and is dropped by the
+	// truncating copy below.
+	for i := range cur {
+		if i < len(c.gen) {
+			cur[i] = c.gen[i]
+		}
+	}
+	if c.r%64 != 0 {
+		cur[c.r/64] &^= 1 << uint(c.r%64)
+	}
+	for b := 0; b < 8; b++ {
+		bitRem[b] = append([]uint64(nil), cur...)
+		// cur = cur * x mod g.
+		top := cur[(c.r-1)/64]>>uint((c.r-1)%64)&1 != 0
+		for i := w - 1; i > 0; i-- {
+			cur[i] = cur[i]<<1 | cur[i-1]>>63
+		}
+		cur[0] <<= 1
+		if top {
+			if c.r%64 != 0 {
+				cur[c.r/64] &^= 1 << uint(c.r%64)
+			}
+			for i, g := range bitRem[0] {
+				cur[i] ^= g
+			}
+		}
+	}
+	// tab[u] = XOR of bitRem[b] over set bits b of u.
+	for u := 1; u < 256; u++ {
+		b := bits.TrailingZeros8(uint8(u))
+		rest := u & (u - 1)
+		dst := e.tab[u*w : u*w+w]
+		copy(dst, e.tab[rest*w:rest*w+w])
+		for i, x := range bitRem[b] {
+			dst[i] ^= x
+		}
+	}
+	return e
+}
+
+// step advances the LFSR by one input byte: state = (state<<8 + v*x^r) mod g.
+func (e *encTables) step(state []uint64, v byte) {
+	u := byte(state[e.loWord] >> e.loOff)
+	if e.split {
+		u |= byte(state[e.loWord+1] << (64 - e.loOff))
+	}
+	u ^= v
+	state[e.loWord] &^= 0xFF << e.loOff
+	if e.split {
+		state[e.loWord+1] &^= 0xFF >> (64 - e.loOff)
+	}
+	for i := len(state) - 1; i > 0; i-- {
+		state[i] = state[i]<<8 | state[i-1]>>56
+	}
+	state[0] <<= 8
+	row := e.tab[int(u)*e.w : int(u)*e.w+e.w]
+	for i, t := range row {
+		state[i] ^= t
+	}
+}
+
+// remainder runs the LFSR over data (highest byte first, matching data bit
+// i at degree r+i) and leaves data(x)*x^r mod g in state.
+func (e *encTables) remainder(state []uint64, data []byte) {
+	if e.w == 5 && e.loOff == 0 && !e.split {
+		e.remainder264(state, data)
+		return
+	}
+	for i := range state {
+		state[i] = 0
+	}
+	live := false
+	for i := len(data) - 1; i >= 0; i-- {
+		v := data[i]
+		if !live {
+			if v == 0 {
+				continue // leading zeros leave a zero remainder
+			}
+			live = true
+		}
+		e.step(state, v)
+	}
+}
+
+// remainder264 is the register-resident specialisation of remainder for the
+// 5-word byte-aligned layout (r = 264, the paper's BCH code): the outgoing
+// byte is exactly the low byte of word 4, so the whole per-byte step unrolls
+// into shift/xor chains on five locals with one table row load.
+func (e *encTables) remainder264(state []uint64, data []byte) {
+	tab := e.tab
+	i := len(data) - 1
+	for ; i >= 0 && data[i] == 0; i-- {
+	}
+	var s0, s1, s2, s3, s4 uint64
+	for ; i >= 0; i-- {
+		base := (int(byte(s4)) ^ int(data[i])) * 5
+		row := tab[base : base+5 : base+5]
+		s4 = (s3 >> 56) ^ row[4]
+		s3 = (s3<<8 | s2>>56) ^ row[3]
+		s2 = (s2<<8 | s1>>56) ^ row[2]
+		s1 = (s1<<8 | s0>>56) ^ row[1]
+		s0 = (s0 << 8) ^ row[0]
+	}
+	state[0], state[1], state[2], state[3], state[4] = s0, s1, s2, s3, s4
+}
+
+// stateBytes serialises the LFSR state little-endian into out.
+func stateBytes(state []uint64, out []byte) {
+	for i := range out {
+		out[i] = byte(state[i/8] >> (8 * uint(i%8)))
+	}
+}
+
+// decTables builds (once) and returns the decode tables, or nil for codes
+// where the fast path is unavailable.
+func (c *Code) decTables() *decTables {
+	if c.enc == nil {
+		return nil
+	}
+	c.decOnce.Do(func() {
+		f := c.field
+		pb := c.ParityBytes()
+		d := &decTables{pb: pb}
+		if rem := uint(c.r % 8); rem == 0 {
+			d.lastMask = 0xFF
+		} else {
+			d.lastMask = byte(1<<rem - 1)
+		}
+
+		// Odd-syndrome tables over remainder bytes: entry (i, u) holds the
+		// contributions of byte value u at byte position i to S_1, S_3,
+		// ..., S_(2t-1).
+		t := c.t
+		d.synTab = make([]gf.Elem, pb*256*t)
+		bitRow := make([]gf.Elem, 8*t)
+		for i := 0; i < pb; i++ {
+			for bit := 0; bit < 8; bit++ {
+				deg := 8*i + bit
+				for j := 0; j < t; j++ {
+					if deg < c.r {
+						bitRow[bit*t+j] = f.Exp(deg * (2*j + 1))
+					} else {
+						bitRow[bit*t+j] = 0 // masked bits never contribute
+					}
+				}
+			}
+			base := i * 256 * t
+			for u := 1; u < 256; u++ {
+				b := bits.TrailingZeros8(uint8(u))
+				rest := u & (u - 1)
+				dst := d.synTab[base+u*t : base+u*t+t]
+				copy(dst, d.synTab[base+rest*t:base+rest*t+t])
+				gf.AddSlice(dst, bitRow[b*t:b*t+t])
+			}
+		}
+
+		// Chien step tables: multiply-by-alpha^-i for i = 1..t.
+		d.step = make([]gf.MulTable, t)
+		for i := range d.step {
+			d.step[i] = f.MulTable(f.Exp(-(i + 1)))
+		}
+
+		// Quadratic solver: quad[y^2+y] = y. Both y and y+1 solve the same
+		// right-hand side; either representative works since callers derive
+		// the second root as y+1.
+		d.quad = make([]gf.Elem, f.Size())
+		for i := range d.quad {
+			d.quad[i] = quadNone
+		}
+		for y := f.Size() - 1; y >= 0; y-- {
+			d.quad[f.Sqr(gf.Elem(y))^gf.Elem(y)] = gf.Elem(y)
+		}
+
+		// Cube-root table for the closed-form cubic: any one root works,
+		// the other two come out of the deflated quadratic.
+		d.cbrt = make([]gf.Elem, f.Size())
+		for i := range d.cbrt {
+			d.cbrt[i] = quadNone
+		}
+		for y := f.Size() - 1; y >= 0; y-- {
+			d.cbrt[f.Mul(f.Sqr(gf.Elem(y)), gf.Elem(y))] = gf.Elem(y)
+		}
+		c.dec = d
+	})
+	return c.dec
+}
+
+func (c *Code) getScratch() *decodeScratch {
+	if sc, ok := c.scratch.Get().(*decodeScratch); ok {
+		return sc
+	}
+	w := 0
+	if c.enc != nil {
+		w = c.enc.w
+	}
+	return &decodeScratch{
+		state:     make([]uint64, w),
+		rem:       make([]byte, c.ParityBytes()),
+		syn:       make([]gf.Elem, 2*c.t),
+		bmSigma:   make([]gf.Elem, 4*c.t+2),
+		bmPrev:    make([]gf.Elem, 4*c.t+2),
+		bmNext:    make([]gf.Elem, 4*c.t+2),
+		sigmaWork: make([]gf.Elem, c.t+1),
+		terms:     make([]gf.Elem, c.t+1),
+		positions: make([]int, 0, 2*c.t),
+	}
+}
+
+func (c *Code) putScratch(sc *decodeScratch) { c.scratch.Put(sc) }
+
+// syndromesInto computes the 2t syndromes into syn and reports whether the
+// received word is a codeword. It uses the remainder-based fast path when
+// tables are available and falls back to the bit-serial oracle otherwise.
+func (c *Code) syndromesInto(syn []gf.Elem, data, parity []byte, sc *decodeScratch) bool {
+	d := c.decTables()
+	if d == nil {
+		ref, clean := c.SyndromesBitSerial(data, parity)
+		copy(syn, ref)
+		return clean
+	}
+	// Remainder of the received word: data(x)*x^r mod g, plus parity
+	// (degree < r, so congruent to itself), with undefined high bits of
+	// the last parity byte masked off exactly as the bit-serial path
+	// ignores degrees >= r.
+	c.enc.remainder(sc.state, data)
+	stateBytes(sc.state, sc.rem)
+	clean := true
+	for i, p := range parity {
+		if i == len(parity)-1 {
+			p &= d.lastMask
+		}
+		sc.rem[i] ^= p
+		if sc.rem[i] != 0 {
+			clean = false
+		}
+	}
+	for i := range syn {
+		syn[i] = 0
+	}
+	if clean {
+		return true
+	}
+	// Odd syndromes from the sparse remainder.
+	t := c.t
+	for i, b := range sc.rem {
+		if b == 0 {
+			continue
+		}
+		row := d.synTab[(i*256+int(b))*t : (i*256+int(b))*t+t]
+		for j, v := range row {
+			syn[2*j] ^= v
+		}
+	}
+	// Even syndromes by squaring: S_2e = S_e^2.
+	f := c.field
+	for e := 2; e <= 2*t; e += 2 {
+		syn[e-1] = f.Sqr(syn[e/2-1])
+	}
+	return false
+}
+
+// isCodeword is the cheap membership test behind CheckClean: the received
+// word is a codeword iff its remainder mod g is zero.
+func (c *Code) isCodeword(data, parity []byte) bool {
+	d := c.decTables()
+	if d == nil {
+		_, clean := c.SyndromesBitSerial(data, parity)
+		return clean
+	}
+	sc := c.getScratch()
+	defer c.putScratch(sc)
+	c.enc.remainder(sc.state, data)
+	stateBytes(sc.state, sc.rem)
+	for i, b := range sc.rem {
+		p := parity[i]
+		if i == len(sc.rem)-1 {
+			p &= d.lastMask
+		}
+		if b != p {
+			return false
+		}
+	}
+	return true
+}
+
+// berlekampMasseyFast is the allocation-free Berlekamp-Massey, writing into
+// the scratch buffers and returning the error locator (aliasing sc.bmSigma
+// or sc.bmNext, valid until the scratch is reused).
+func (c *Code) berlekampMasseyFast(syn []gf.Elem, sc *decodeScratch) gf.Poly {
+	f := c.field
+	sigma, prev, next := sc.bmSigma, sc.bmPrev, sc.bmNext
+	for i := range sigma {
+		sigma[i], prev[i], next[i] = 0, 0, 0
+	}
+	sigma[0], prev[0] = 1, 1
+	l := 0
+	shift := 1
+	b := gf.Elem(1)
+	for i := 0; i < len(syn); i++ {
+		d := syn[i]
+		for j := 1; j <= l; j++ {
+			if sigma[j] != 0 && syn[i-j] != 0 {
+				d ^= f.Mul(sigma[j], syn[i-j])
+			}
+		}
+		if d == 0 {
+			shift++
+			continue
+		}
+		scale := f.Div(d, b)
+		if 2*l <= i {
+			copy(next, sigma)
+			for j, p := range prev {
+				if p != 0 {
+					next[j+shift] ^= f.Mul(scale, p)
+				}
+			}
+			sigma, prev, next = next, sigma, prev
+			b = d
+			l = i + 1 - l
+			shift = 1
+		} else {
+			for j, p := range prev {
+				if p != 0 {
+					sigma[j+shift] ^= f.Mul(scale, p)
+				}
+			}
+			shift++
+		}
+	}
+	deg := -1
+	for i := len(sigma) - 1; i >= 0; i-- {
+		if sigma[i] != 0 {
+			deg = i
+			break
+		}
+	}
+	return gf.Poly(sigma[:deg+1])
+}
+
+// elemPosition maps a locator root x = alpha^-p back to its bit position p,
+// returning ok=false when the position falls outside the shortened code.
+func (c *Code) elemPosition(x gf.Elem) (int, bool) {
+	if x == 0 {
+		return 0, false
+	}
+	f := c.field
+	p := (f.N() - f.Log(x)) % f.N()
+	return p, p < c.n
+}
+
+// linearRoot appends the root position of a degree-1 locator s0 + s1*x.
+func (c *Code) linearRoot(s0, s1 gf.Elem, positions []int) ([]int, bool) {
+	if s0 == 0 || s1 == 0 {
+		return positions, false
+	}
+	p, ok := c.elemPosition(c.field.Div(s0, s1))
+	if !ok {
+		return positions, false
+	}
+	return append(positions, p), true
+}
+
+// quadraticRoots appends both root positions of s0 + s1*x + s2*x^2 using
+// the precomputed y^2+y=k solver. A zero s1 means a repeated root, which a
+// separable error locator never has; it is rejected just as the Chien scan
+// would come up one root short.
+func (c *Code) quadraticRoots(d *decTables, s0, s1, s2 gf.Elem, positions []int) ([]int, bool) {
+	f := c.field
+	if s0 == 0 || s1 == 0 || s2 == 0 {
+		return positions, false
+	}
+	// Substitute x = (s1/s2) y: y^2 + y = s0*s2 / s1^2.
+	k := f.Div(f.Mul(s0, s2), f.Sqr(s1))
+	y := d.quad[k]
+	if y == quadNone {
+		return positions, false
+	}
+	scale := f.Div(s1, s2)
+	p1, ok1 := c.elemPosition(f.Mul(scale, y))
+	p2, ok2 := c.elemPosition(f.Mul(scale, y^1))
+	if !ok1 || !ok2 {
+		return positions, false
+	}
+	return append(positions, p1, p2), true
+}
+
+// cubicRoots appends all three root positions of the cubic locator
+// s0 + s1*x + s2*x^2 + s3*x^3 without scanning. Substituting x = y + a
+// (a = s2/s3) depresses the cubic to y^3 + p*y + q; with t a cube root of
+// a solution z of the resolvent quadratic z^2 + q*z + p^3, the element
+// y = t + p/t is a root (in characteristic 2). The remaining two roots
+// come out of the deflated quadratic. Returns ok=false — with positions
+// untouched — when any step has no solution in the field, which mirrors a
+// Chien scan coming up short.
+func (c *Code) cubicRoots(d *decTables, s0, s1, s2, s3 gf.Elem, positions []int) ([]int, bool) {
+	f := c.field
+	if s0 == 0 || s3 == 0 {
+		return positions, false // x=0 root or not a cubic: invalid locator
+	}
+	base := len(positions)
+	a := f.Div(s2, s3)
+	b := f.Div(s1, s3)
+	cc := f.Div(s0, s3)
+	p := f.Sqr(a) ^ b
+	q := f.Mul(a, b) ^ cc
+
+	var x0 gf.Elem
+	switch {
+	case p == 0:
+		if q == 0 {
+			return positions, false // y^3 = 0: triple root, not separable
+		}
+		y := d.cbrt[q]
+		if y == quadNone {
+			return positions, false
+		}
+		x0 = y ^ a
+	case q == 0:
+		// y * (y^2 + p): take the y=0 root; the deflated quadratic has a
+		// repeated root and is rejected below, as separability demands.
+		x0 = a
+	default:
+		k := f.Div(f.Mul(p, f.Sqr(p)), f.Sqr(q))
+		w := d.quad[k]
+		if w == quadNone {
+			return positions, false
+		}
+		t := d.cbrt[f.Mul(q, w)]
+		if t == quadNone {
+			return positions, false
+		}
+		x0 = t ^ f.Div(p, t) ^ a
+	}
+	// Guard the field-theory edge cases by evaluating the original cubic.
+	if x0 == 0 || f.Mul(f.Mul(f.Mul(s3, x0)^s2, x0)^s1, x0)^s0 != 0 {
+		return positions, false
+	}
+	p0, ok := c.elemPosition(x0)
+	if !ok {
+		return positions, false
+	}
+	// Deflate by (x + x0) and solve the remaining quadratic in closed form.
+	q2 := s3
+	q1 := s2 ^ f.Mul(q2, x0)
+	q0 := s1 ^ f.Mul(q1, x0)
+	positions, ok = c.quadraticRoots(d, q0, q1, q2, append(positions, p0))
+	if !ok {
+		return positions[:base], false
+	}
+	return positions, true
+}
+
+// findRoots locates all roots of sigma inside the shortened code,
+// combining an early-exit Chien scan with locator deflation and
+// closed-form extraction once the residual degree drops to two. Semantics
+// match the reference chien(): it returns ok=false unless exactly
+// deg(sigma) positions are found.
+func (c *Code) findRoots(sigma gf.Poly, sc *decodeScratch) ([]int, bool) {
+	deg := gf.PolyDeg(sigma)
+	if deg <= 0 {
+		return nil, deg == 0
+	}
+	d := c.decTables()
+	if d == nil || deg > c.t {
+		return c.chien(sigma)
+	}
+	f := c.field
+	positions := sc.positions[:0]
+	work := sc.sigmaWork[:deg+1]
+	copy(work, sigma[:deg+1])
+
+	var ok bool
+	p := 0
+	for deg > 2 {
+		if deg == 3 {
+			// Closed-form cubic: no scan at all for three residual roots.
+			// On failure fall through to the scan, which either finds a
+			// root the closed form missed or proves there are too few.
+			if positions, ok = c.cubicRoots(d, work[0], work[1], work[2], work[3], positions); ok {
+				sort.Ints(positions)
+				sc.positions = positions[:0]
+				return positions, true
+			}
+		}
+		// Chien scan with incremental term registers: terms[j] tracks
+		// work[j] * alpha^(-p*j); advancing p multiplies term j by
+		// alpha^-j via its precomputed table.
+		terms := sc.terms[:deg+1]
+		for j := 0; j <= deg; j++ {
+			terms[j] = f.Mul(work[j], f.Exp(-p*j))
+		}
+		found := -1
+		for ; p < c.n; p++ {
+			v := terms[0]
+			for j := 1; j <= deg; j++ {
+				v ^= terms[j]
+			}
+			if v == 0 {
+				found = p
+				break
+			}
+			for j := 1; j <= deg; j++ {
+				terms[j] = d.step[j-1][terms[j]]
+			}
+		}
+		if found < 0 {
+			return nil, false // fewer in-range roots than deg(sigma)
+		}
+		positions = append(positions, found)
+		// Deflate: work /= (x + root), synthetic division from the top.
+		root := f.Exp(-found)
+		for j := deg - 1; j >= 0; j-- {
+			work[j] ^= f.Mul(work[j+1], root)
+		}
+		copy(work, work[1:deg+1]) // remainder work[0] is zero by construction
+		deg--
+		work = work[:deg+1]
+		p = found + 1
+	}
+	switch deg {
+	case 1:
+		positions, ok = c.linearRoot(work[0], work[1], positions)
+	case 2:
+		positions, ok = c.quadraticRoots(d, work[0], work[1], work[2], positions)
+	}
+	if !ok {
+		return nil, false
+	}
+	sort.Ints(positions)
+	sc.positions = positions[:0]
+	return positions, true
+}

@@ -92,6 +92,10 @@ type Config struct {
 	// fallback path, scrubbing their errors (off in the paper's model,
 	// which assumes no free scrubbing; exposed for ablation).
 	WriteBackVLEWCorrections bool
+	// ScrubWorkers sets the boot-scrub worker-pool size. Workers scan
+	// disjoint (chip, bank) shards, so results are independent of the
+	// worker count. Zero means GOMAXPROCS; negative is rejected.
+	ScrubWorkers int
 }
 
 // DefaultConfig returns the paper's settings.
@@ -126,6 +130,9 @@ func NewController(r *rank.Rank, cfg Config, omv OMVProvider) (*Controller, erro
 	}
 	if cfg.Threshold < 0 || cfg.Threshold > code.MaxErrors() {
 		return nil, fmt.Errorf("core: threshold %d outside [0,%d]", cfg.Threshold, code.MaxErrors())
+	}
+	if cfg.ScrubWorkers < 0 {
+		return nil, fmt.Errorf("core: scrub workers %d must be >= 0", cfg.ScrubWorkers)
 	}
 	if omv == nil {
 		omv = NoOMV{}

@@ -1,6 +1,11 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
 
 // ScrubReport summarises a boot-time scrub (Sec V-B).
 type ScrubReport struct {
@@ -13,12 +18,32 @@ type ScrubReport struct {
 	BusBlockFetches int64 // block transfers the scrub cost
 }
 
+// scrubUnit is one shard of the boot scrub: all VLEWs of one bank on one
+// chip. Shards are disjoint, so workers never contend on a VLEW.
+type scrubUnit struct {
+	chip, bank int
+}
+
+// scrubPartial is one shard's contribution to the report, merged serially
+// after the pool drains so the final report is deterministic regardless of
+// worker count or scheduling.
+type scrubPartial struct {
+	vlews, fetches, bits, uncorrectable int64
+}
+
 // BootScrub fetches and decodes every VLEW on every chip, writing
 // corrected contents back. A data chip with uncorrectable VLEWs is treated
 // as failed and rebuilt block-by-block through Reed-Solomon erasure
 // correction using the parity chip; an uncorrectable parity chip is
 // rebuilt by re-encoding the (corrected) data chips. Two or more failed
 // chips exceed the scheme's capability.
+//
+// The scan is sharded across a worker pool keyed by (chip, bank) —
+// Config.ScrubWorkers sets the pool size — modelling a controller that
+// scrubs banks in parallel under the bank-level parallelism of the rank.
+// Decoding VLEWs dominates the cost and runs without locks; only the
+// per-chip ReadVLEW/WriteVLEW accesses synchronise. The rebuild phase is
+// serial: it runs at most once per scrub and walks the whole rank.
 func (c *Controller) BootScrub() ScrubReport {
 	var rep ScrubReport
 	r := c.rank
@@ -27,31 +52,66 @@ func (c *Controller) BootScrub() ScrubReport {
 	code := rcfg.VLEWCode
 	r.CloseAllRows()
 
+	fetchesPerVLEW := int64(g.VLEWDataBytes/rcfg.ChipAccessBytes) / int64(rcfg.DataChips)
 	uncorrectablePerChip := make([]int64, r.NumChips())
+	units := make([]scrubUnit, 0, r.NumChips()*g.Banks)
 	for ci := 0; ci < r.NumChips(); ci++ {
-		chip := r.Chip(ci)
-		if !chip.Healthy() {
+		if !r.Chip(ci).Healthy() {
 			uncorrectablePerChip[ci] = 1 // known-dead chip
 			continue
 		}
 		for bank := 0; bank < g.Banks; bank++ {
-			for row := 0; row < g.RowsPerBank; row++ {
-				for v := 0; v < g.VLEWsPerRow(); v++ {
-					rep.VLEWsScrubbed++
-					rep.BusBlockFetches += int64(g.VLEWDataBytes/rcfg.ChipAccessBytes) / int64(rcfg.DataChips)
-					data, vcode := chip.ReadVLEW(bank, row, v)
-					fixed, err := code.Decode(data, vcode[:code.ParityBytes()])
-					if err != nil {
-						uncorrectablePerChip[ci]++
-						continue
-					}
-					if fixed > 0 {
-						rep.BitsCorrected += int64(fixed)
-						chip.WriteVLEW(bank, row, v, data, vcode)
+			units = append(units, scrubUnit{chip: ci, bank: bank})
+		}
+	}
+
+	workers := c.cfg.ScrubWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	partials := make([]scrubPartial, len(units))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(units) {
+					return
+				}
+				u, p := units[i], &partials[i]
+				chip := r.Chip(u.chip)
+				for row := 0; row < g.RowsPerBank; row++ {
+					for v := 0; v < g.VLEWsPerRow(); v++ {
+						p.vlews++
+						p.fetches += fetchesPerVLEW
+						data, vcode := chip.ReadVLEW(u.bank, row, v)
+						fixed, err := code.Decode(data, vcode[:code.ParityBytes()])
+						if err != nil {
+							p.uncorrectable++
+							continue
+						}
+						if fixed > 0 {
+							p.bits += int64(fixed)
+							chip.WriteVLEW(u.bank, row, v, data, vcode)
+						}
 					}
 				}
 			}
-		}
+		}()
+	}
+	wg.Wait()
+	for i := range partials {
+		p := &partials[i]
+		rep.VLEWsScrubbed += p.vlews
+		rep.BusBlockFetches += p.fetches
+		rep.BitsCorrected += p.bits
+		uncorrectablePerChip[units[i].chip] += p.uncorrectable
 	}
 	c.stats.ScrubCorrections += rep.BitsCorrected
 

@@ -1,0 +1,94 @@
+package gf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Microbenchmarks for the field kernels at the sizes the codecs use:
+// GF(2^8) slices of 64 B (one RS data block) and raw byte XOR at 256 B
+// (one VLEW write-back).
+
+func benchElems(n int, seed int64) []Elem {
+	rng := rand.New(rand.NewSource(seed))
+	s := make([]Elem, n)
+	for i := range s {
+		s[i] = Elem(rng.Intn(256))
+	}
+	return s
+}
+
+func BenchmarkKernelMulElementwise(b *testing.B) {
+	f := MustField(8)
+	src := benchElems(64, 1)
+	c := Elem(0x57)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range src {
+			_ = f.Mul(c, s)
+		}
+	}
+}
+
+func BenchmarkKernelMulTable(b *testing.B) {
+	f := MustField(8)
+	src := benchElems(64, 1)
+	t := f.MulTable(0x57)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range src {
+			_ = t[s]
+		}
+	}
+}
+
+func BenchmarkKernelMulAddBytes(b *testing.B) {
+	f := MustField(8)
+	t := f.MulTable(0x57)
+	src := make([]byte, 64)
+	dst := make([]byte, 64)
+	rand.New(rand.NewSource(2)).Read(src)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.MulAddBytes(dst, src)
+	}
+}
+
+func BenchmarkKernelMulSlice(b *testing.B) {
+	f := MustField(8)
+	x := benchElems(64, 3)
+	y := benchElems(64, 4)
+	dst := make([]Elem, 64)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MulSlice(dst, x, y)
+	}
+}
+
+func BenchmarkKernelXORBytesLoop(b *testing.B) {
+	src := make([]byte, 256)
+	dst := make([]byte, 256)
+	rand.New(rand.NewSource(5)).Read(src)
+	b.SetBytes(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range dst {
+			dst[j] ^= src[j]
+		}
+	}
+}
+
+func BenchmarkKernelXORBytes(b *testing.B) {
+	src := make([]byte, 256)
+	dst := make([]byte, 256)
+	rand.New(rand.NewSource(5)).Read(src)
+	b.SetBytes(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		XORBytes(dst, src)
+	}
+}

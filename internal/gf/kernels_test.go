@@ -1,0 +1,139 @@
+package gf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestMulTableMatchesMul(t *testing.T) {
+	for _, m := range []uint{4, 8, 12} {
+		f := MustField(m)
+		rng := rand.New(rand.NewSource(int64(m)))
+		for trial := 0; trial < 20; trial++ {
+			c := Elem(rng.Intn(f.Size()))
+			tab := f.MulTable(c)
+			if len(tab) != f.Size() {
+				t.Fatalf("m=%d: table size %d, want %d", m, len(tab), f.Size())
+			}
+			for a := 0; a < f.Size(); a++ {
+				if got, want := tab.Mul(Elem(a)), f.Mul(c, Elem(a)); got != want {
+					t.Fatalf("m=%d c=%#x a=%#x: table %#x, Mul %#x", m, c, a, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMulBytesAndMulAddBytes(t *testing.T) {
+	f := MustField(8)
+	rng := rand.New(rand.NewSource(2))
+	c := Elem(0xB7)
+	tab := f.MulTable(c)
+	src := make([]byte, 64)
+	rng.Read(src)
+
+	dst := make([]byte, 64)
+	tab.MulBytes(dst, src)
+	for i := range src {
+		if want := byte(f.Mul(c, Elem(src[i]))); dst[i] != want {
+			t.Fatalf("MulBytes[%d] = %#x, want %#x", i, dst[i], want)
+		}
+	}
+
+	acc := make([]byte, 64)
+	rng.Read(acc)
+	want := append([]byte(nil), acc...)
+	tab.MulAddBytes(acc, src)
+	for i := range src {
+		want[i] ^= byte(f.Mul(c, Elem(src[i])))
+	}
+	if !bytes.Equal(acc, want) {
+		t.Fatal("MulAddBytes mismatch")
+	}
+
+	// In-place aliasing must work.
+	alias := append([]byte(nil), src...)
+	tab.MulBytes(alias, alias)
+	ref := make([]byte, 64)
+	tab.MulBytes(ref, src)
+	if !bytes.Equal(alias, ref) {
+		t.Fatal("aliased MulBytes mismatch")
+	}
+}
+
+func TestSqr(t *testing.T) {
+	for _, m := range []uint{8, 12} {
+		f := MustField(m)
+		for a := 0; a < f.Size(); a++ {
+			if got, want := f.Sqr(Elem(a)), f.Mul(Elem(a), Elem(a)); got != want {
+				t.Fatalf("m=%d Sqr(%#x) = %#x, want %#x", m, a, got, want)
+			}
+		}
+	}
+}
+
+func TestAddAndMulSlice(t *testing.T) {
+	f := MustField(8)
+	rng := rand.New(rand.NewSource(3))
+	n := 37
+	a := make([]Elem, n)
+	b := make([]Elem, n)
+	for i := range a {
+		a[i] = Elem(rng.Intn(256))
+		b[i] = Elem(rng.Intn(256))
+	}
+
+	sum := append([]Elem(nil), a...)
+	AddSlice(sum, b)
+	for i := range sum {
+		if sum[i] != a[i]^b[i] {
+			t.Fatalf("AddSlice[%d] mismatch", i)
+		}
+	}
+
+	prod := make([]Elem, n)
+	f.MulSlice(prod, a, b)
+	for i := range prod {
+		if want := f.Mul(a[i], b[i]); prod[i] != want {
+			t.Fatalf("MulSlice[%d] = %#x, want %#x", i, prod[i], want)
+		}
+	}
+	// dst aliasing a.
+	aCopy := append([]Elem(nil), a...)
+	f.MulSlice(aCopy, aCopy, b)
+	for i := range aCopy {
+		if aCopy[i] != prod[i] {
+			t.Fatalf("aliased MulSlice[%d] mismatch", i)
+		}
+	}
+}
+
+func TestXORBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65, 256} {
+		dst := make([]byte, n)
+		src := make([]byte, n)
+		rng.Read(dst)
+		rng.Read(src)
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = dst[i] ^ src[i]
+		}
+		if got := XORBytes(dst, src); got != n {
+			t.Fatalf("n=%d: returned %d", n, got)
+		}
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("n=%d: XORBytes mismatch", n)
+		}
+	}
+	// Mismatched lengths process the shorter prefix.
+	dst := []byte{1, 2, 3, 4}
+	src := []byte{0xFF, 0xFF}
+	if got := XORBytes(dst, src); got != 2 {
+		t.Fatalf("short src: returned %d", got)
+	}
+	if dst[0] != 0xFE || dst[1] != 0xFD || dst[2] != 3 || dst[3] != 4 {
+		t.Fatalf("short src: dst = %v", dst)
+	}
+}

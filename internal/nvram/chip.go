@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"chipkillpm/internal/bch"
+	"chipkillpm/internal/gf"
 )
 
 // Geometry describes one NVRAM chip's array organisation. Each row holds
@@ -78,9 +80,15 @@ func (s Stats) CFactor() float64 {
 // embeds a linear BCH encoder for VLEW code bits and an EUR that coalesces
 // code-bit updates per open-row VLEW until the row closes (Fig 11).
 //
-// Chip is not safe for concurrent use; the memory controller serialises
-// accesses to a rank, which matches real hardware.
+// Concurrency contract: ReadVLEW and WriteVLEW take the chip's internal
+// mutex and may be called concurrently — the parallel boot scrub fans
+// workers out across (chip, bank) pairs, so two workers can hit the same
+// chip at once. Every other method requires external serialisation, which
+// matches real hardware: the memory controller serialises demand accesses
+// to a rank. Decoding (the expensive part of a scrub) happens outside the
+// chip and needs no lock.
 type Chip struct {
+	mu      sync.Mutex // guards cells/eur/stats/rng for the *VLEW methods
 	geom    Geometry
 	enc     *bch.Code // VLEW encoder; nil disables in-chip encoding
 	cells   []byte    // banks x rows x RowTotalBytes
@@ -229,10 +237,7 @@ func (c *Chip) WriteXOR(bank, row, off int, delta []byte) {
 	if c.failed {
 		return
 	}
-	cells := c.cells[base+off : base+off+len(delta)]
-	for i := range delta {
-		cells[i] ^= delta[i]
-	}
+	gf.XORBytes(c.cells[base+off:base+off+len(delta)], delta)
 	c.applyStuck(base+off, len(delta))
 	c.stats.BitsWritten += int64(8 * len(delta))
 	c.rowWear[bank*c.geom.RowsPerBank+row]++
@@ -262,10 +267,7 @@ func (c *Chip) applyCodeDelta(bank, row, off int, delta []byte, coalesce bool) {
 			}
 			c.enc.XORParity(reg, update)
 		} else {
-			code := c.vlewCode(bank, row, v)
-			for i := range update {
-				code[i] ^= update[i]
-			}
+			gf.XORBytes(c.vlewCode(bank, row, v), update)
 			c.stats.VLEWCodeWrites++
 		}
 		delta = delta[n:]
@@ -313,10 +315,7 @@ func (c *Chip) CloseRow(bank int) {
 			continue
 		}
 		if !c.failed {
-			code := c.vlewCode(bank, row, v)
-			for i := range reg {
-				code[i] ^= reg[i]
-			}
+			gf.XORBytes(c.vlewCode(bank, row, v), reg)
 		}
 		c.stats.VLEWCodeWrites++
 		delete(c.eur, k)
@@ -335,8 +334,11 @@ func (c *Chip) CloseAllRows() {
 
 // ReadVLEW returns copies of a VLEW's data and code bytes. Pending EUR
 // updates for that VLEW are drained first so the returned pair is
-// internally consistent. A failed chip returns garbage.
+// internally consistent. A failed chip returns garbage. Safe for
+// concurrent use (see the Chip concurrency contract).
 func (c *Chip) ReadVLEW(bank, row, v int) (data, code []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	base := c.rowBase(bank, row)
 	if v < 0 || v >= c.geom.VLEWsPerRow() {
 		panic(fmt.Sprintf("nvram: VLEW index %d out of range", v))
@@ -351,10 +353,7 @@ func (c *Chip) ReadVLEW(bank, row, v int) (data, code []byte) {
 	if c.openRow[bank] == row {
 		k := eurKey{bank, v}
 		if reg, ok := c.eur[k]; ok {
-			stored := c.vlewCode(bank, row, v)
-			for i := range reg {
-				stored[i] ^= reg[i]
-			}
+			gf.XORBytes(c.vlewCode(bank, row, v), reg)
 			c.stats.VLEWCodeWrites++
 			delete(c.eur, k)
 		}
@@ -365,8 +364,11 @@ func (c *Chip) ReadVLEW(bank, row, v int) (data, code []byte) {
 }
 
 // WriteVLEW overwrites a VLEW's data and code regions directly; used by
-// boot-time scrub write-back and ECC leveling.
+// boot-time scrub write-back and ECC leveling. Safe for concurrent use
+// (see the Chip concurrency contract).
 func (c *Chip) WriteVLEW(bank, row, v int, data, code []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	base := c.rowBase(bank, row)
 	if len(data) != c.geom.VLEWDataBytes || len(code) != c.geom.VLEWCodeBytes {
 		panic("nvram: WriteVLEW size mismatch")
@@ -462,10 +464,7 @@ func (c *Chip) XORCode(bank, row, v int, delta []byte) {
 	if c.failed {
 		return
 	}
-	code := c.vlewCode(bank, row, v)
-	for i := range delta {
-		code[i] ^= delta[i]
-	}
+	gf.XORBytes(c.vlewCode(bank, row, v), delta)
 	c.stats.BitsWritten += int64(8 * len(delta))
 }
 

@@ -81,6 +81,13 @@ type BlockLoc struct {
 func (l BlockLoc) VLEWIndex(vlewDataBytes int) int { return l.Col / vlewDataBytes }
 
 // Rank is a set of lockstep NVRAM chips plus a parity chip.
+//
+// Concurrency contract: the accessors Config, NumChips, ParityChipIndex,
+// Chip, Blocks, Locate and BlocksInVLEW are read-only after New and safe
+// for concurrent use. Of the chip operations, only nvram.Chip.ReadVLEW and
+// WriteVLEW may run concurrently (the parallel boot scrub relies on this);
+// every block-level read/write and fault-injection method requires external
+// serialisation, matching a memory controller that serialises rank access.
 type Rank struct {
 	cfg    Config
 	chips  []*nvram.Chip // data chips; index 0..DataChips-1

@@ -1,0 +1,99 @@
+package rs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Kernel microbenchmarks at the paper shape: RS(72, 64), one 64 B data
+// block plus 8 check bytes. The *PolyDiv/*Horner benchmarks measure the
+// retained reference paths for the before/after comparison.
+
+func benchCode() *Code { return Must(64, 8) }
+
+func benchBlock() ([]byte, *Code) {
+	c := benchCode()
+	data := make([]byte, c.K())
+	rand.New(rand.NewSource(1)).Read(data)
+	return data, c
+}
+
+func BenchmarkKernelEncode(b *testing.B) {
+	data, c := benchBlock()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Encode(data)
+	}
+}
+
+func BenchmarkKernelEncodePolyDiv(b *testing.B) {
+	data, c := benchBlock()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.EncodePolyDiv(data)
+	}
+}
+
+func BenchmarkKernelCheckClean(b *testing.B) {
+	data, c := benchBlock()
+	check := c.Encode(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.Check(data, check) {
+			b.Fatal("clean block reported dirty")
+		}
+	}
+}
+
+func BenchmarkKernelSyndromesHorner(b *testing.B) {
+	data, c := benchBlock()
+	check := c.Encode(data)
+	data[3] ^= 0xA5
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.SyndromesHorner(data, check)
+	}
+}
+
+func BenchmarkKernelDecodeClean(b *testing.B) {
+	data, c := benchBlock()
+	check := c.Encode(data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(data, check, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelDecodeErrors(b *testing.B) {
+	data, c := benchBlock()
+	check := c.Encode(data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data[5] ^= 0x3C
+		data[40] ^= 0x81
+		if corr, err := c.Decode(data, check, nil); err != nil || len(corr) != 2 {
+			b.Fatalf("corr=%d err=%v", len(corr), err)
+		}
+	}
+}
+
+func BenchmarkKernelDecodeErasures(b *testing.B) {
+	data, c := benchBlock()
+	check := c.Encode(data)
+	erasures := []int{8, 9, 10, 11, 12, 13, 14, 15} // one failed chip
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range erasures {
+			data[p] = 0
+		}
+		if _, err := c.Decode(data, check, erasures); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

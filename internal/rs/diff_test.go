@@ -1,0 +1,200 @@
+package rs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Differential tests: the table-driven Encode/EncodeDelta/syndrome paths
+// must match the retained polynomial-division and Horner oracles exactly,
+// across the paper shape and other (k, r) geometries including one wide
+// enough (r > 8) to exercise the oracle fallback inside the fast entry
+// points.
+
+var diffCodes = []struct{ k, r int }{
+	{64, 8}, // the paper's RS(72, 64)
+	{32, 4},
+	{16, 2},
+	{100, 8},
+	{64, 12}, // r > 8: packed LFSR unavailable, fallback path
+	{1, 1},
+}
+
+func TestEncodeMatchesPolyDiv(t *testing.T) {
+	for _, p := range diffCodes {
+		code := Must(p.k, p.r)
+		rng := rand.New(rand.NewSource(int64(p.k)*17 + int64(p.r)))
+		data := make([]byte, code.K())
+		for trial := 0; trial < 100; trial++ {
+			rng.Read(data)
+			if trial%8 == 0 {
+				// Leading zeros exercise the LFSR skip path.
+				for i := code.K() / 2; i < code.K(); i++ {
+					data[i] = 0
+				}
+			}
+			fast := code.Encode(data)
+			slow := code.EncodePolyDiv(data)
+			if !bytes.Equal(fast, slow) {
+				t.Fatalf("%v trial %d: Encode mismatch\nfast %x\nslow %x", code, trial, fast, slow)
+			}
+		}
+	}
+}
+
+func TestEncodeDeltaMatchesPolyDiv(t *testing.T) {
+	for _, p := range diffCodes {
+		code := Must(p.k, p.r)
+		rng := rand.New(rand.NewSource(int64(p.k)*23 + int64(p.r)))
+		for trial := 0; trial < 100; trial++ {
+			n := 1 + rng.Intn(code.K())
+			delta := make([]byte, n)
+			rng.Read(delta)
+			if trial%5 == 0 {
+				for i := range delta {
+					delta[i] = 0 // all-zero delta short-circuit
+				}
+			}
+			off := rng.Intn(code.K() - n + 1)
+			fast := code.EncodeDelta(delta, off)
+			slow := code.EncodeDeltaPolyDiv(delta, off)
+			if !bytes.Equal(fast, slow) {
+				t.Fatalf("%v trial %d off %d: EncodeDelta mismatch\nfast %x\nslow %x",
+					code, trial, off, fast, slow)
+			}
+		}
+	}
+}
+
+func TestSyndromesMatchHorner(t *testing.T) {
+	for _, p := range diffCodes {
+		code := Must(p.k, p.r)
+		rng := rand.New(rand.NewSource(int64(p.k)*29 + int64(p.r)))
+		data := make([]byte, code.K())
+		for trial := 0; trial < 100; trial++ {
+			rng.Read(data)
+			check := code.Encode(data)
+			if trial%2 == 1 {
+				for e := 1 + rng.Intn(code.R()+2); e > 0; e-- {
+					if rng.Intn(code.N()) < code.K() {
+						data[rng.Intn(code.K())] ^= byte(1 + rng.Intn(255))
+					} else {
+						check[rng.Intn(code.R())] ^= byte(1 + rng.Intn(255))
+					}
+				}
+			}
+			fast := make([]byte, code.R())
+			sc := code.getScratch()
+			fastClean := code.syndromesInto(sc.syn, data, check)
+			for i, s := range sc.syn {
+				fast[i] = byte(s)
+			}
+			code.putScratch(sc)
+			slowSyn, slowClean := code.SyndromesHorner(data, check)
+			if fastClean != slowClean {
+				t.Fatalf("%v trial %d: clean mismatch fast=%v slow=%v", code, trial, fastClean, slowClean)
+			}
+			for i := range slowSyn {
+				if fast[i] != byte(slowSyn[i]) {
+					t.Fatalf("%v trial %d: S_%d mismatch fast %#x slow %#x",
+						code, trial, i+1, fast[i], slowSyn[i])
+				}
+			}
+			if code.Check(data, check) != slowClean {
+				t.Fatalf("%v trial %d: Check disagrees with Horner syndromes", code, trial)
+			}
+		}
+	}
+}
+
+// TestDecodeRandomizedRoundTrip hammers the scratch-pooled decoder against
+// ground truth across error/erasure mixes: 2*errors + erasures <= r must
+// restore the codeword exactly; overload must either error out or land on
+// some other codeword, never report success on a dirty word.
+func TestDecodeRandomizedRoundTrip(t *testing.T) {
+	for _, p := range diffCodes {
+		code := Must(p.k, p.r)
+		rng := rand.New(rand.NewSource(int64(p.k)*31 + int64(p.r)))
+		data := make([]byte, code.K())
+		for trial := 0; trial < 300; trial++ {
+			rng.Read(data)
+			check := code.Encode(data)
+			wantData := append([]byte(nil), data...)
+			wantCheck := append([]byte(nil), check...)
+
+			rho := rng.Intn(code.R() + 1)
+			maxErr := (code.R() - rho) / 2
+			e := rng.Intn(maxErr + 2) // occasionally one beyond capacity
+			positions := rng.Perm(code.N())
+			erasures := positions[:rho]
+			errPos := positions[rho : rho+e]
+			corrupt := func(pos int) {
+				v := byte(1 + rng.Intn(255))
+				if pos < code.K() {
+					data[pos] ^= v
+				} else {
+					check[pos-code.K()] ^= v
+				}
+			}
+			// Half the erasures actually hold wrong values; the rest were
+			// declared bad but happen to be correct.
+			for i, pos := range erasures {
+				if i%2 == 0 {
+					corrupt(pos)
+				}
+			}
+			for _, pos := range errPos {
+				corrupt(pos)
+			}
+
+			corr, err := code.Decode(data, check, erasures)
+			if e <= maxErr {
+				if err != nil {
+					t.Fatalf("%v trial %d: rho=%d e=%d should decode: %v", code, trial, rho, e, err)
+				}
+				if !bytes.Equal(data, wantData) || !bytes.Equal(check, wantCheck) {
+					t.Fatalf("%v trial %d: decode did not restore the codeword", code, trial)
+				}
+				for _, cr := range corr {
+					if cr.Old == cr.New {
+						t.Fatalf("%v trial %d: no-op correction reported at %d", code, trial, cr.Pos)
+					}
+				}
+			} else if err == nil {
+				if !code.Check(data, check) {
+					t.Fatalf("%v trial %d: decode claimed success on a non-codeword", code, trial)
+				}
+			} else {
+				// Failed decodes must leave the inputs untouched only for
+				// ErrUncorrectable paths that promise rollback; sanity-check
+				// the word still decodes after manual restore.
+				copy(data, wantData)
+				copy(check, wantCheck)
+			}
+		}
+	}
+}
+
+// TestDecodeLeavesInputUnchangedOnError verifies the rollback contract on
+// an uncorrectable pattern.
+func TestDecodeLeavesInputUnchangedOnError(t *testing.T) {
+	code := Must(64, 8)
+	rng := rand.New(rand.NewSource(7))
+	data := make([]byte, 64)
+	rng.Read(data)
+	check := code.Encode(data)
+	dirtyData := append([]byte(nil), data...)
+	for i := 0; i < 6; i++ { // 6 errors > MaxErrors()=4
+		dirtyData[i*7] ^= byte(1 + rng.Intn(255))
+	}
+	dirtyCheck := append([]byte(nil), check...)
+	gotData := append([]byte(nil), dirtyData...)
+	gotCheck := append([]byte(nil), dirtyCheck...)
+	if _, err := code.Decode(gotData, gotCheck, nil); err == nil {
+		return // miscorrected onto another codeword: allowed for e > t
+	}
+	if !bytes.Equal(gotData, dirtyData) || !bytes.Equal(gotCheck, dirtyCheck) {
+		t.Fatal("failed decode modified its inputs")
+	}
+}

@@ -18,6 +18,7 @@ package rs
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"chipkillpm/internal/gf"
 )
@@ -31,14 +32,19 @@ var ErrUncorrectable = errors.New("rs: uncorrectable error pattern")
 var ErrThreshold = errors.New("rs: corrections exceed acceptance threshold")
 
 // Code is an (n, k) Reed-Solomon code over GF(2^8) with r = n-k check
-// symbols and first consecutive root alpha^1. It is immutable and safe for
-// concurrent use.
+// symbols and first consecutive root alpha^1. Its tables are immutable
+// after New and all methods are safe for concurrent use; per-call decode
+// state lives in a scratch pool so concurrent decoders share nothing.
 type Code struct {
 	f   *gf.Field
 	k   int // data symbols (bytes)
 	r   int // check symbols (bytes)
 	n   int // total symbols
 	gen gf.Poly
+
+	enc     *encTables // packed-uint64 LFSR tables; nil when r > 8
+	dec     *decTables // per-root multiplication tables
+	scratch sync.Pool  // *decodeScratch
 }
 
 // New constructs an RS code with k data bytes and r check bytes.
@@ -55,7 +61,10 @@ func New(k, r int) (*Code, error) {
 	for j := 1; j <= r; j++ {
 		gen = f.PolyMul(gen, gf.Poly{f.Exp(j), 1})
 	}
-	return &Code{f: f, k: k, r: r, n: k + r, gen: gen}, nil
+	c := &Code{f: f, k: k, r: r, n: k + r, gen: gen}
+	c.enc = c.buildEncTables()
+	c.dec = c.buildDecTables()
+	return c, nil
 }
 
 // Must is New but panics on error.
@@ -105,12 +114,32 @@ func (c *Code) degreeToPos(d int) int {
 	return d - c.r
 }
 
-// Encode computes the r check bytes for the k data bytes.
+// Encode computes the r check bytes for the k data bytes. It streams one
+// byte per LFSR step through the precomputed feedback table; EncodePolyDiv
+// is the retained polynomial-division reference.
 func (c *Code) Encode(data []byte) []byte {
 	if len(data) != c.k {
 		panic(fmt.Sprintf("rs: Encode: got %d data bytes, want %d", len(data), c.k))
 	}
-	// Systematic: check(x) = (d(x) * x^r) mod g(x).
+	if c.enc == nil {
+		return c.EncodePolyDiv(data)
+	}
+	state := c.enc.remainder(data)
+	check := make([]byte, c.r)
+	for i := range check {
+		check[i] = byte(state >> (8 * uint(i)))
+	}
+	return check
+}
+
+// EncodePolyDiv is the reference implementation of Encode via generic
+// polynomial division: check(x) = (d(x) * x^r) mod g(x). It is kept as the
+// differential-test oracle for the table-driven path and as the fallback
+// for codes with more than 8 check symbols.
+func (c *Code) EncodePolyDiv(data []byte) []byte {
+	if len(data) != c.k {
+		panic(fmt.Sprintf("rs: Encode: got %d data bytes, want %d", len(data), c.k))
+	}
 	p := make(gf.Poly, c.n)
 	for j, b := range data {
 		p[c.r+j] = gf.Elem(b)
@@ -127,8 +156,32 @@ func (c *Code) Encode(data []byte) []byte {
 // XORing the result into the old check bytes yields the check bytes of the
 // new data, where delta = old XOR new starting at data byte byteOffset.
 // RS over GF(2^8) is linear over GF(2), so incremental update works exactly
-// as for BCH.
+// as for BCH. The fast path runs the LFSR over the delta bytes and then
+// multiplies by x^byteOffset with zero-feed steps, short-circuiting when
+// the delta itself is all zero.
 func (c *Code) EncodeDelta(delta []byte, byteOffset int) []byte {
+	if byteOffset < 0 || byteOffset+len(delta) > c.k {
+		panic(fmt.Sprintf("rs: EncodeDelta: %d bytes at offset %d overflow k=%d", len(delta), byteOffset, c.k))
+	}
+	if c.enc == nil {
+		return c.EncodeDeltaPolyDiv(delta, byteOffset)
+	}
+	state := c.enc.remainder(delta)
+	if state != 0 {
+		for i := 0; i < byteOffset; i++ {
+			state = c.enc.step(state, 0)
+		}
+	}
+	check := make([]byte, c.r)
+	for i := range check {
+		check[i] = byte(state >> (8 * uint(i)))
+	}
+	return check
+}
+
+// EncodeDeltaPolyDiv is the polynomial-division reference for EncodeDelta,
+// kept as the differential-test oracle.
+func (c *Code) EncodeDeltaPolyDiv(delta []byte, byteOffset int) []byte {
 	if byteOffset < 0 || byteOffset+len(delta) > c.k {
 		panic(fmt.Sprintf("rs: EncodeDelta: %d bytes at offset %d overflow k=%d", len(delta), byteOffset, c.k))
 	}
@@ -144,8 +197,11 @@ func (c *Code) EncodeDelta(delta []byte, byteOffset int) []byte {
 	return check
 }
 
-// syndromes returns S_1..S_r and whether all are zero.
-func (c *Code) syndromes(data, check []byte) (gf.Poly, bool) {
+// SyndromesHorner returns S_1..S_r and whether all are zero, evaluating the
+// received word at each root by Horner's rule over all n symbols. It is the
+// reference implementation behind the remainder-based fast path and the
+// differential-test oracle for it.
+func (c *Code) SyndromesHorner(data, check []byte) (gf.Poly, bool) {
 	syn := make(gf.Poly, c.r)
 	clean := true
 	for j := 1; j <= c.r; j++ {
@@ -167,11 +223,19 @@ func (c *Code) syndromes(data, check []byte) (gf.Poly, bool) {
 	return syn, clean
 }
 
-// Check reports whether data||check is a clean codeword.
+// Check reports whether data||check is a clean codeword: one LFSR pass and
+// an 8-byte compare on the fast path.
 func (c *Code) Check(data, check []byte) bool {
 	c.validate(data, check)
-	_, clean := c.syndromes(data, check)
-	return clean
+	if c.enc == nil {
+		_, clean := c.SyndromesHorner(data, check)
+		return clean
+	}
+	rem := c.enc.remainder(data)
+	for i := 0; i < c.r; i++ {
+		rem ^= uint64(check[i]) << (8 * uint(i))
+	}
+	return rem == 0
 }
 
 func (c *Code) validate(data, check []byte) {
@@ -179,41 +243,6 @@ func (c *Code) validate(data, check []byte) {
 		panic(fmt.Sprintf("rs: got %d data and %d check bytes, want %d and %d",
 			len(data), len(check), c.k, c.r))
 	}
-}
-
-// berlekampMassey finds the error locator for syndrome sequence seq.
-func (c *Code) berlekampMassey(seq gf.Poly) gf.Poly {
-	f := c.f
-	sigma := gf.Poly{1}
-	prev := gf.Poly{1}
-	l := 0
-	shift := 1
-	b := gf.Elem(1)
-	for i := 0; i < len(seq); i++ {
-		d := seq[i]
-		for j := 1; j <= l && j < len(sigma); j++ {
-			if i-j >= 0 {
-				d ^= f.Mul(sigma[j], seq[i-j])
-			}
-		}
-		if d == 0 {
-			shift++
-			continue
-		}
-		scale := f.Div(d, b)
-		adj := f.PolyMulXk(f.PolyScale(prev, scale), shift)
-		next := f.PolyAdd(sigma, adj)
-		if 2*l <= i {
-			prev = sigma
-			b = d
-			l = i + 1 - l
-			shift = 1
-		} else {
-			shift++
-		}
-		sigma = next
-	}
-	return sigma
 }
 
 // Correction describes one applied symbol correction.
@@ -233,7 +262,16 @@ func (c *Code) Decode(data, check []byte, erasures []int) ([]Correction, error) 
 	if len(erasures) > c.r {
 		return nil, fmt.Errorf("rs: %d erasures exceed capability %d: %w", len(erasures), c.r, ErrUncorrectable)
 	}
-	seen := map[int]bool{}
+	sc := c.getScratch()
+	defer c.putScratch(sc)
+	seen := sc.seen
+	defer func() {
+		for _, p := range erasures {
+			if p >= 0 && p < c.n {
+				seen[p] = false
+			}
+		}
+	}()
 	for _, p := range erasures {
 		if p < 0 || p >= c.n {
 			return nil, fmt.Errorf("rs: erasure position %d out of range [0,%d)", p, c.n)
@@ -245,78 +283,144 @@ func (c *Code) Decode(data, check []byte, erasures []int) ([]Correction, error) 
 	}
 	f := c.f
 
-	syn, clean := c.syndromes(data, check)
-	if clean {
+	syn := sc.syn
+	if c.syndromesInto(syn, data, check) {
 		// Nothing to do; erased positions already hold correct values.
 		return nil, nil
 	}
 
-	// Erasure locator Gamma(x) = prod (1 - X_i x), X_i = alpha^degree.
-	gamma := gf.Poly{1}
+	// Erasure locator Gamma(x) = prod (1 - X_i x), X_i = alpha^degree,
+	// built in place by multiplying one linear factor at a time.
+	gamma := sc.gamma[:1]
+	gamma[0] = 1
 	for _, p := range erasures {
 		x := f.Exp(c.posToDegree(p))
-		gamma = f.PolyMul(gamma, gf.Poly{1, x})
+		gamma = gamma[:len(gamma)+1]
+		gamma[len(gamma)-1] = 0
+		for i := len(gamma) - 1; i >= 1; i-- {
+			gamma[i] ^= f.Mul(x, gamma[i-1])
+		}
 	}
 
 	// Modified (Forney) syndromes: T(x) = S(x)*Gamma(x) mod x^r, then drop
 	// the first rho coefficients; BM on the remainder finds the error
 	// locator sigma for the non-erased errors.
-	t := f.PolyMul(syn, gamma)
-	if len(t) > c.r {
-		t = t[:c.r]
+	t := sc.tpoly[:c.r]
+	for i := range t {
+		t[i] = 0
 	}
-	for len(t) < c.r {
-		t = append(t, 0)
+	for a, s := range syn {
+		if s == 0 {
+			continue
+		}
+		for b, g := range gamma {
+			if a+b >= c.r {
+				break
+			}
+			if g != 0 {
+				t[a+b] ^= f.Mul(s, g)
+			}
+		}
 	}
 	rho := len(erasures)
-	sigma := c.berlekampMassey(t[rho:])
+	sigma := c.berlekampMasseyFast(t[rho:], sc)
 	nu := gf.PolyDeg(sigma)
 	if nu < 0 {
-		sigma = gf.Poly{1}
 		nu = 0
 	}
 	if 2*nu+rho > c.r {
 		return nil, ErrUncorrectable
 	}
 
-	// Errata locator and evaluator.
-	lambda := f.PolyMul(sigma, gamma)
-	omega := f.PolyMul(syn, lambda)
-	if len(omega) > c.r {
-		omega = omega[:c.r]
+	// Errata locator lambda = sigma*gamma and evaluator
+	// omega = syn*lambda mod x^r.
+	lambda := sc.lambda[:nu+len(gamma)]
+	for i := range lambda {
+		lambda[i] = 0
 	}
-	omega = gf.PolyTrim(omega)
-	lambdaDeriv := f.PolyDeriv(lambda)
-
-	// Chien search across all n coefficient degrees.
-	degLambda := gf.PolyDeg(lambda)
-	var corrections []Correction
-	found := 0
-	for d := 0; d < c.n && found < degLambda; d++ {
-		xInv := f.Exp(-d)
-		if f.PolyEval(lambda, xInv) != 0 {
+	if len(sigma) == 0 {
+		copy(lambda, gamma)
+	} else {
+		for a, s := range sigma[:nu+1] {
+			if s == 0 {
+				continue
+			}
+			for b, g := range gamma {
+				if g != 0 {
+					lambda[a+b] ^= f.Mul(s, g)
+				}
+			}
+		}
+	}
+	degLambda := gf.PolyDeg(gf.Poly(lambda))
+	omega := sc.omega[:c.r]
+	for i := range omega {
+		omega[i] = 0
+	}
+	for a, s := range syn {
+		if s == 0 {
 			continue
 		}
-		found++
-		denom := f.PolyEval(lambdaDeriv, xInv)
-		if denom == 0 {
-			return nil, ErrUncorrectable
+		for b, l := range lambda {
+			if a+b >= c.r {
+				break
+			}
+			if l != 0 {
+				omega[a+b] ^= f.Mul(s, l)
+			}
 		}
-		// Forney, fcr=1: magnitude = Omega(Xinv) / Lambda'(Xinv).
-		mag := f.Div(f.PolyEval(omega, xInv), denom)
-		if mag == 0 {
-			continue // erased position that was actually correct
+	}
+	omega = omega[:gf.PolyDeg(gf.Poly(omega))+1]
+	// Formal derivative in characteristic 2: only odd-degree terms survive.
+	deriv := sc.deriv[:0]
+	if degLambda > 0 {
+		deriv = sc.deriv[:degLambda]
+		for i := range deriv {
+			if i%2 == 0 {
+				deriv[i] = lambda[i+1]
+			} else {
+				deriv[i] = 0
+			}
 		}
-		pos := c.degreeToPos(d)
-		var oldV byte
-		if pos < c.k {
-			oldV = data[pos]
-		} else {
-			oldV = check[pos-c.k]
+	}
+
+	// Chien search across all n coefficient degrees with incremental term
+	// registers: terms[j] tracks lambda[j] * alpha^(-d*j) and advancing d
+	// multiplies term j by alpha^-j via its precomputed table.
+	var corrections []Correction
+	found := 0
+	terms := sc.terms[:degLambda+1]
+	copy(terms, lambda[:degLambda+1])
+	for d := 0; d < c.n && found < degLambda; d++ {
+		v := terms[0]
+		for j := 1; j <= degLambda; j++ {
+			v ^= terms[j]
 		}
-		corrections = append(corrections, Correction{
-			Pos: pos, Old: oldV, New: oldV ^ byte(mag), Erasure: seen[pos],
-		})
+		if v == 0 {
+			found++
+			xInv := f.Exp(-d)
+			denom := f.PolyEval(gf.Poly(deriv), xInv)
+			if denom == 0 {
+				return nil, ErrUncorrectable
+			}
+			// Forney, fcr=1: magnitude = Omega(Xinv) / Lambda'(Xinv).
+			mag := f.Div(f.PolyEval(gf.Poly(omega), xInv), denom)
+			if mag != 0 { // a zero magnitude is an erased position that was correct
+				pos := c.degreeToPos(d)
+				var oldV byte
+				if pos < c.k {
+					oldV = data[pos]
+				} else {
+					oldV = check[pos-c.k]
+				}
+				corrections = append(corrections, Correction{
+					Pos: pos, Old: oldV, New: oldV ^ byte(mag), Erasure: seen[pos],
+				})
+			}
+		}
+		for j := 1; j <= degLambda; j++ {
+			terms[j] = c.dec.step[j-1][terms[j]]
+		}
 	}
 	if found != degLambda {
 		return nil, ErrUncorrectable
@@ -328,7 +432,7 @@ func (c *Code) Decode(data, check []byte, erasures []int) ([]Correction, error) 
 			check[corr.Pos-c.k] = corr.New
 		}
 	}
-	if _, clean := c.syndromes(data, check); !clean {
+	if !c.syndromesInto(syn, data, check) {
 		for _, corr := range corrections { // roll back
 			if corr.Pos < c.k {
 				data[corr.Pos] = corr.Old

@@ -1,0 +1,32 @@
+#!/bin/sh
+# check.sh — the gate a change must pass before it lands:
+#   vet + build + full tests, race detector on the concurrent packages,
+#   then the kernel regression harness (refreshes BENCH_kernels.json and
+#   fails on a fast-path/reference speedup regression).
+#
+# Usage: scripts/check.sh [-quick]
+#   -quick skips the race pass and the benchmark harness.
+set -eu
+cd "$(dirname "$0")/.."
+
+quick=false
+[ "${1:-}" = "-quick" ] && quick=true
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./... -count=1
+
+if ! $quick; then
+	echo "== go test -race (core, rank)"
+	go test -race -count=1 ./internal/core/... ./internal/rank/...
+
+	echo "== kernel benchmarks -> BENCH_kernels.json"
+	go run ./cmd/benchkernels -check
+fi
+
+echo "OK"
