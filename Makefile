@@ -1,7 +1,7 @@
 # Standard entry points; scripts/check.sh is the single source of truth
 # for what "passing" means.
 
-.PHONY: all build test race bench check check-quick
+.PHONY: all build test race bench check check-quick campaign soak fuzz
 
 all: build
 
@@ -12,7 +12,8 @@ test:
 	go test ./... -count=1
 
 race:
-	go test -race -count=1 ./internal/core/... ./internal/rank/...
+	go test -race -count=1 ./internal/core/... ./internal/rank/... \
+		./internal/memctrl/... ./internal/sim/... ./internal/inject/...
 
 # Kernel microbenchmarks (per-package, human-readable).
 bench:
@@ -21,6 +22,23 @@ bench:
 # Refresh BENCH_kernels.json and fail on fast-path speedup regressions.
 BENCH_kernels.json: FORCE
 	go run ./cmd/benchkernels -check
+
+# Fault-injection campaigns (internal/inject). `campaign` is the
+# acceptance suite; `soak` adds the deep campaigns and runs the soak-tagged
+# tests.
+campaign:
+	go run ./cmd/faultcampaign -suite standard
+
+soak:
+	go test -tags soak -count=1 -run TestSoakSuite -v ./internal/inject/
+	go run ./cmd/faultcampaign -suite soak
+
+# Short coverage-guided fuzz pass over both decoders; the checked-in seed
+# corpora under internal/{bch,rs}/testdata/fuzz also run in plain `go test`.
+FUZZTIME ?= 10s
+fuzz:
+	go test ./internal/bch/ -fuzz=FuzzDecode -fuzztime=$(FUZZTIME)
+	go test ./internal/rs/ -fuzz=FuzzDecode -fuzztime=$(FUZZTIME)
 
 check:
 	sh scripts/check.sh

@@ -1,0 +1,119 @@
+// Command faultcampaign runs the deterministic fault-injection campaign
+// suites against the full controller + rank stack, checking every read
+// against the model-based oracle (see internal/inject).
+//
+//	faultcampaign -suite smoke                # seconds-scale CI gate
+//	faultcampaign -suite standard             # the acceptance suite
+//	faultcampaign -suite soak                 # deep campaigns
+//	faultcampaign -suite escape               # documented SDC escapes
+//	faultcampaign -suite standard -campaign fallback-rate -seed 7
+//	faultcampaign -list                       # available suites/campaigns
+//	faultcampaign -suite standard -json out.json
+//
+// Every campaign is reproducible from (suite, campaign, seed); each
+// failure in the output carries the exact repro command. The process
+// exits non-zero if any campaign fails its expectations.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"chipkillpm/internal/inject"
+)
+
+func main() {
+	var (
+		suite    = flag.String("suite", "standard", "suite to run: "+strings.Join(inject.SuiteNames(), ", "))
+		campaign = flag.String("campaign", "", "run only campaigns whose name contains this substring")
+		seed     = flag.Int64("seed", 1, "base seed; campaigns mix in their names")
+		jsonOut  = flag.String("json", "", "also write the full report as JSON to this file")
+		list     = flag.Bool("list", false, "list suites and campaigns, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range inject.SuiteNames() {
+			cs, err := inject.Suite(s, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s:\n", s)
+			for _, c := range cs {
+				fmt.Printf("  %-22s %s, %d ops, %d events\n", c.Name, geometry(c), c.Ops, len(c.Events))
+			}
+		}
+		return
+	}
+
+	campaigns, err := inject.Suite(*suite, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *campaign != "" {
+		var kept []inject.Campaign
+		for _, c := range campaigns {
+			if strings.Contains(c.Name, *campaign) {
+				kept = append(kept, c)
+			}
+		}
+		if len(kept) == 0 {
+			fatal(fmt.Errorf("no campaign in suite %q matches %q", *suite, *campaign))
+		}
+		campaigns = kept
+	}
+
+	fmt.Printf("suite %s, seed %d, %d campaigns\n", *suite, *seed, len(campaigns))
+	rep := inject.RunCampaigns(*suite, *seed, campaigns)
+	for _, cr := range rep.Campaigns {
+		fmt.Println(cr.Summary())
+		if !cr.Pass {
+			fmt.Printf("  FAIL: %s\n", cr.Reason)
+			fmt.Printf("  repro: %s\n", cr.Repro)
+		}
+		for _, f := range cr.Failures {
+			fmt.Printf("  op=%d block=%d kind=%s: %s\n", f.Op, f.Block, f.Kind, f.Detail)
+		}
+	}
+
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("report written to %s\n", *jsonOut)
+	}
+
+	if rep.Pass {
+		fmt.Printf("PASS: %d campaigns, sdc=%d due=%d\n", len(rep.Campaigns), rep.TotalSDC, rep.TotalDUE)
+		return
+	}
+	fmt.Printf("FAIL: sdc=%d due=%d\n", rep.TotalSDC, rep.TotalDUE)
+	os.Exit(1)
+}
+
+// geometry renders a campaign's rank shape with its defaults applied.
+func geometry(c inject.Campaign) string {
+	banks, rows, rb := c.Banks, c.RowsPerBank, c.RowBytes
+	if banks == 0 {
+		banks = 2
+	}
+	if rows == 0 {
+		rows = 8
+	}
+	if rb == 0 {
+		rb = 1024
+	}
+	return fmt.Sprintf("%dx%dx%dB", banks, rows, rb)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "faultcampaign:", err)
+	os.Exit(1)
+}

@@ -23,6 +23,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"chipkillpm/internal/rank"
 	"chipkillpm/internal/rs"
@@ -54,6 +55,13 @@ func (NoOMV) OMV(int64) ([]byte, bool) { return nil, false }
 // Stats counts controller activity. BlockFetches approximates bus traffic
 // in 64B-block transfers, the unit behind the paper's bandwidth-overhead
 // numbers.
+//
+// Concurrency: demand-path methods (ReadBlock, WriteBlock, ...) mutate the
+// counters without locking, matching the Controller's single-owner
+// contract. BootScrub and PatrolScrub instead publish their counter
+// updates under an internal lock, so Stats and ResetStats MAY be called
+// concurrently with either scrub (e.g. a boot-progress monitor) but MUST
+// NOT race demand reads or writes.
 type Stats struct {
 	Reads  int64
 	Writes int64
@@ -83,6 +91,27 @@ type Stats struct {
 	ScrubUncorrectable int64
 }
 
+// add accumulates o into s field by field; scrubs use it to publish their
+// whole contribution in one locked step.
+func (s *Stats) add(o Stats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.ReadsClean += o.ReadsClean
+	s.ReadsRSCorrected += o.ReadsRSCorrected
+	s.ReadsVLEWFallback += o.ReadsVLEWFallback
+	s.BitsCorrectedRS += o.BitsCorrectedRS
+	s.BitsCorrectedVLEW += o.BitsCorrectedVLEW
+	s.ChipFailuresCorrected += o.ChipFailuresCorrected
+	s.Uncorrectable += o.Uncorrectable
+	s.OMVHits += o.OMVHits
+	s.OMVMisses += o.OMVMisses
+	s.BlockFetches += o.BlockFetches
+	s.BlockWrites += o.BlockWrites
+	s.ScrubbedVLEWs += o.ScrubbedVLEWs
+	s.ScrubCorrections += o.ScrubCorrections
+	s.ScrubUncorrectable += o.ScrubUncorrectable
+}
+
 // Config tunes the controller.
 type Config struct {
 	// Threshold is the maximum number of RS corrections accepted at
@@ -102,14 +131,21 @@ type Config struct {
 func DefaultConfig() Config { return Config{Threshold: 2} }
 
 // Controller drives one persistent-memory rank with the proposed scheme.
-// It is not safe for concurrent use, mirroring a per-channel controller.
+// It is not safe for concurrent use, mirroring a per-channel controller,
+// with one documented exception: Stats and ResetStats take an internal
+// lock and may run concurrently with BootScrub and PatrolScrub (see the
+// Stats type's concurrency note).
 type Controller struct {
 	rank     *rank.Rank
 	rsCode   *rs.Code
 	cfg      Config
 	omv      OMVProvider
 	disabled map[int64]bool
-	stats    Stats
+
+	// statsMu serialises Stats/ResetStats against the scrubs' batched
+	// counter publication. Demand paths mutate stats without it.
+	statsMu sync.Mutex
+	stats   Stats
 
 	// Degraded (remapped) mode, Sec V-E: the failed data chip's contents
 	// live in the parity chip and VLEWs are striped across the rank.
@@ -152,11 +188,30 @@ func (c *Controller) Rank() *rank.Rank { return c.rank }
 // RS returns the per-block Reed-Solomon code.
 func (c *Controller) RS() *rs.Code { return c.rsCode }
 
-// Stats returns a snapshot of the controller's counters.
-func (c *Controller) Stats() Stats { return c.stats }
+// Stats returns a snapshot of the controller's counters. It is safe to
+// call concurrently with BootScrub and PatrolScrub, but not with demand
+// reads/writes (see the Stats type's concurrency note).
+func (c *Controller) Stats() Stats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.stats
+}
 
-// ResetStats zeroes the counters (e.g. after warmup).
-func (c *Controller) ResetStats() { c.stats = Stats{} }
+// ResetStats zeroes the counters (e.g. after warmup). Same concurrency
+// contract as Stats.
+func (c *Controller) ResetStats() {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	c.stats = Stats{}
+}
+
+// addStats publishes a batched counter delta under the stats lock; the
+// scrubs use it so monitors can snapshot concurrently.
+func (c *Controller) addStats(d Stats) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	c.stats.add(d)
+}
 
 // DisableBlock retires a worn-out block (Sec V-E). The VLEW code bits are
 // updated as if the block's physical bits were zero, keeping the VLEW

@@ -46,6 +46,8 @@ type scrubPartial struct {
 // serial: it runs at most once per scrub and walks the whole rank.
 func (c *Controller) BootScrub() ScrubReport {
 	var rep ScrubReport
+	var d Stats // batched counter delta, published under the stats lock
+	defer func() { c.addStats(d) }()
 	r := c.rank
 	rcfg := r.Config()
 	g := rcfg.Geometry
@@ -113,14 +115,14 @@ func (c *Controller) BootScrub() ScrubReport {
 		rep.BitsCorrected += p.bits
 		uncorrectablePerChip[units[i].chip] += p.uncorrectable
 	}
-	c.stats.ScrubCorrections += rep.BitsCorrected
+	d.ScrubCorrections += rep.BitsCorrected
 
 	for ci, n := range uncorrectablePerChip {
 		if n > 0 {
 			rep.ChipsFailed = append(rep.ChipsFailed, ci)
 		}
 	}
-	c.stats.ScrubbedVLEWs += rep.VLEWsScrubbed
+	d.ScrubbedVLEWs += rep.VLEWsScrubbed
 
 	switch len(rep.ChipsFailed) {
 	case 0:
@@ -130,14 +132,14 @@ func (c *Controller) BootScrub() ScrubReport {
 		if ci == r.ParityChipIndex() {
 			c.rebuildParityChip(&rep)
 		} else {
-			c.rebuildDataChip(ci, &rep)
+			c.rebuildDataChip(ci, &rep, &d)
 		}
-		c.stats.ChipFailuresCorrected++
+		d.ChipFailuresCorrected++
 		rep.ChipsRebuilt = append(rep.ChipsRebuilt, ci)
 		return rep
 	default:
 		rep.Unrecoverable = true
-		c.stats.Uncorrectable++
+		d.Uncorrectable++
 		return rep
 	}
 }
@@ -146,7 +148,7 @@ func (c *Controller) BootScrub() ScrubReport {
 // via RS erasure correction over the (already scrubbed) healthy chips and
 // parity chip, then writes the reconstructed contents into the repaired
 // device and re-encodes its VLEW code bits.
-func (c *Controller) rebuildDataChip(ci int, rep *ScrubReport) {
+func (c *Controller) rebuildDataChip(ci int, rep *ScrubReport, d *Stats) {
 	r := c.rank
 	rcfg := r.Config()
 	n := rcfg.ChipAccessBytes
@@ -169,7 +171,7 @@ func (c *Controller) rebuildDataChip(ci int, rep *ScrubReport) {
 			// Residual errors beyond the erasure budget (should not
 			// happen after a successful scrub of the healthy chips).
 			rep.Unrecoverable = true
-			c.stats.Uncorrectable++
+			d.Uncorrectable++
 			continue
 		}
 		loc := r.Locate(b)
@@ -215,6 +217,7 @@ func (c *Controller) PatrolScrub(pos int64, count int) (next int64, corrected in
 	g := r.Config().Geometry
 	code := r.Config().VLEWCode
 	total := c.TotalPatrolUnits()
+	var d Stats // published under the stats lock after the walk
 	for i := 0; i < count; i++ {
 		p := (pos + int64(i)) % total
 		vpr := int64(g.VLEWsPerRow())
@@ -230,16 +233,17 @@ func (c *Controller) PatrolScrub(pos int64, count int) (next int64, corrected in
 		data, vcode := chip.ReadVLEW(bank, row, v)
 		fixed, err := code.Decode(data, vcode[:code.ParityBytes()])
 		if err != nil {
-			c.stats.ScrubUncorrectable++
+			d.ScrubUncorrectable++
 			continue
 		}
 		if fixed > 0 {
 			chip.WriteVLEW(bank, row, v, data, vcode)
 			corrected += int64(fixed)
 		}
-		c.stats.ScrubbedVLEWs++
+		d.ScrubbedVLEWs++
 	}
-	c.stats.ScrubCorrections += corrected
+	d.ScrubCorrections = corrected
+	c.addStats(d)
 	return (pos + int64(count)) % total, corrected
 }
 

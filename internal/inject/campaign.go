@@ -1,0 +1,464 @@
+package inject
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"chipkillpm/internal/core"
+	"chipkillpm/internal/rank"
+)
+
+// Campaign is a declarative, fully seeded fault-injection scenario: a
+// rank geometry, a randomized read/write workload, and a script of fault
+// events fired at workload operation indices. Two runs of the same
+// campaign with the same seed produce identical reports.
+type Campaign struct {
+	Name string `json:"name"`
+	Seed int64  `json:"seed"`
+
+	// Rank geometry (paper-shaped chips). Zero values default to
+	// 2 banks x 8 rows x 1024 B rows = 2048 blocks.
+	Banks       int `json:"banks,omitempty"`
+	RowsPerBank int `json:"rows_per_bank,omitempty"`
+	RowBytes    int `json:"row_bytes,omitempty"`
+
+	// WorkingSet is the number of blocks committed and exercised,
+	// strided evenly across the rank; 0 means every block.
+	WorkingSet int `json:"working_set,omitempty"`
+
+	// Ops random operations run after initialisation; each is a read
+	// (oracle-checked) or a write with probability WriteFrac.
+	Ops       int     `json:"ops"`
+	WriteFrac float64 `json:"write_frac,omitempty"`
+
+	// OMVHitRate is the probability the LLC supplies a write's old
+	// memory value (otherwise the controller pays the memory fetch).
+	OMVHitRate float64 `json:"omv_hit_rate,omitempty"`
+
+	// Threshold is the runtime RS acceptance threshold; <=0 means the
+	// paper's default of 2.
+	Threshold int `json:"threshold,omitempty"`
+
+	// ScrubWorkers sizes the boot-scrub pool (0 = GOMAXPROCS).
+	ScrubWorkers int `json:"scrub_workers,omitempty"`
+
+	// ProbeStatsDuringScrub spawns a goroutine hammering Controller.
+	// Stats while each BootScrub runs, exercising the documented stats
+	// concurrency contract (meaningful under -race).
+	ProbeStatsDuringScrub bool `json:"probe_stats,omitempty"`
+
+	Events []Event `json:"events,omitempty"`
+	Expect Expect  `json:"expect"`
+}
+
+// Harness couples one controller + rank stack with the shadow-map oracle
+// and drives a campaign through it.
+type Harness struct {
+	c      Campaign
+	suite  string
+	rng    *rand.Rand
+	rank   *rank.Rank
+	ctrl   *core.Controller
+	oracle *Oracle
+	omv    *omvSource
+	rep    *CampaignReport
+
+	blocks     []int64 // working set, ascending
+	blockBytes int
+	degraded   bool
+	armDelta   bool
+	armOMV     bool
+	opIndex    int64
+}
+
+// campaignSeed mixes the campaign name into the base seed so sibling
+// campaigns of a suite draw independent streams.
+func campaignSeed(name string, seed int64) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return seed ^ int64(h.Sum64()&0x7fffffffffffffff)
+}
+
+// NewHarness builds the stack for one campaign.
+func NewHarness(suite string, c Campaign) (*Harness, error) {
+	if c.Banks == 0 {
+		c.Banks = 2
+	}
+	if c.RowsPerBank == 0 {
+		c.RowsPerBank = 8
+	}
+	if c.RowBytes == 0 {
+		c.RowBytes = 1024
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 2
+	}
+	seed := campaignSeed(c.Name, c.Seed)
+	r, err := rank.New(rank.PaperConfig(c.Banks, c.RowsPerBank, c.RowBytes, seed+1))
+	if err != nil {
+		return nil, fmt.Errorf("inject: building rank: %w", err)
+	}
+	h := &Harness{
+		c:      c,
+		suite:  suite,
+		rng:    rand.New(rand.NewSource(seed)),
+		rank:   r,
+		oracle: NewOracle(),
+		rep: &CampaignReport{
+			Name:     c.Name,
+			Suite:    suite,
+			Seed:     c.Seed,
+			Geometry: fmt.Sprintf("%dx%dx%dB", c.Banks, c.RowsPerBank, c.RowBytes),
+			Blocks:   r.Blocks(),
+			Ops:      int64(c.Ops),
+			Expect:   c.Expect,
+			Repro:    fmt.Sprintf("go run ./cmd/faultcampaign -suite %s -campaign %s -seed %d", suite, c.Name, c.Seed),
+		},
+		blockBytes: r.Config().BlockBytes(),
+	}
+	h.omv = &omvSource{oracle: h.oracle, rng: rand.New(rand.NewSource(seed + 2)), hitRate: c.OMVHitRate}
+	h.ctrl, err = core.NewController(r, h.ctrlCfg(), h.omv)
+	if err != nil {
+		return nil, fmt.Errorf("inject: building controller: %w", err)
+	}
+	return h, nil
+}
+
+func (h *Harness) ctrlCfg() core.Config {
+	return core.Config{Threshold: h.c.Threshold, ScrubWorkers: h.c.ScrubWorkers}
+}
+
+// Controller exposes the live controller (it changes across crash events).
+func (h *Harness) Controller() *core.Controller { return h.ctrl }
+
+// Rank exposes the rank under test.
+func (h *Harness) Rank() *rank.Rank { return h.rank }
+
+// Run executes the campaign: initialise the working set, interleave the
+// randomized workload with scripted events, then verify every committed
+// block byte-for-byte against the oracle.
+func (h *Harness) Run() *CampaignReport {
+	start := time.Now()
+	h.initWorkingSet()
+
+	events := append([]Event(nil), h.c.Events...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].AtOp < events[j].AtOp })
+	next := 0
+	for op := 0; op <= h.c.Ops; op++ {
+		h.opIndex = int64(op)
+		for next < len(events) && events[next].AtOp <= op {
+			h.apply(events[next])
+			next++
+		}
+		if op == h.c.Ops {
+			break
+		}
+		h.randomOp()
+	}
+	for ; next < len(events); next++ { // events scripted past the op budget
+		h.apply(events[next])
+	}
+
+	h.sweep() // final byte-for-byte verification of every committed block
+	h.rep.ElapsedMS = time.Since(start).Milliseconds()
+	h.rep.finish()
+	return h.rep
+}
+
+// RunCampaign builds and runs one campaign under a suite label.
+func RunCampaign(suite string, c Campaign) *CampaignReport {
+	h, err := NewHarness(suite, c)
+	if err != nil {
+		return &CampaignReport{Name: c.Name, Suite: suite, Seed: c.Seed, Pass: false, Reason: err.Error()}
+	}
+	return h.Run()
+}
+
+// initWorkingSet commits WorkingSet blocks, strided across the rank.
+func (h *Harness) initWorkingSet() {
+	total := h.rank.Blocks()
+	ws := int64(h.c.WorkingSet)
+	if ws <= 0 || ws > total {
+		ws = total
+	}
+	stride := total / ws
+	if stride < 1 {
+		stride = 1
+	}
+	for i := int64(0); i < ws; i++ {
+		b := i * stride
+		data := make([]byte, h.blockBytes)
+		h.rng.Read(data)
+		if err := h.ctrl.WriteBlockInitial(b, data); err != nil {
+			h.fail("write", b, fmt.Sprintf("init: %v", err))
+			continue
+		}
+		h.oracle.Commit(b, data)
+		h.blocks = append(h.blocks, b)
+	}
+}
+
+// randomOp performs one workload operation on a random committed block.
+func (h *Harness) randomOp() {
+	b := h.blocks[h.rng.Intn(len(h.blocks))]
+	if h.rng.Float64() < h.c.WriteFrac {
+		h.writeOp(b)
+		return
+	}
+	h.readAndCheck(b)
+}
+
+// writeOp writes fresh random data, applying any armed one-shot
+// write-path fault, and commits the *intended* data to the oracle.
+func (h *Harness) writeOp(b int64) {
+	data := make([]byte, h.blockBytes)
+	h.rng.Read(data)
+	if h.armOMV {
+		h.armOMV = false
+		h.omv.corruptNext = true
+		h.rep.OMVCorrupts++
+	}
+	armDelta := h.armDelta
+	h.armDelta = false
+	if err := h.ctrl.WriteBlock(b, data); err != nil {
+		h.fail("write", b, err.Error())
+		return
+	}
+	h.rep.Writes++
+	if armDelta {
+		h.corruptStoredDelta(b)
+		h.rep.DeltaCorrupts++
+	}
+	h.oracle.Commit(b, data)
+}
+
+// corruptStoredDelta models a one-bit bus fault on the XOR delta to one
+// data chip: the chip folds the corrupted delta into its stored data and
+// its VLEW code bits (so the chip is internally consistent), while the
+// parity chip's RS check reflects the true delta. The per-block RS must
+// flag the mismatch on the next read.
+func (h *Harness) corruptStoredDelta(b int64) {
+	loc := h.rank.Locate(b)
+	n := h.rank.Config().ChipAccessBytes
+	ci := h.rng.Intn(h.rank.Config().DataChips)
+	off := h.rng.Intn(n)
+	bit := uint(h.rng.Intn(8))
+	h.rank.Chip(ci).WriteXOR(loc.Bank, loc.Row, loc.Col+off, []byte{1 << bit})
+}
+
+// readAndCheck reads one block and classifies the outcome against the
+// oracle, distinguishing silent corruption from honest DUEs.
+func (h *Harness) readAndCheck(b int64) Outcome {
+	want, ok := h.oracle.Expected(b)
+	if !ok {
+		return OutcomeClean
+	}
+	before := h.ctrl.Stats()
+	got, err := h.ctrl.ReadBlock(b)
+	after := h.ctrl.Stats()
+	h.rep.Reads++
+	if after.ReadsVLEWFallback > before.ReadsVLEWFallback {
+		h.rep.Fallback++
+	}
+	if err != nil {
+		h.rep.DUE++
+		h.fail("due", b, err.Error())
+		return OutcomeDUE
+	}
+	if !bytes.Equal(got, want) {
+		h.rep.SDC++
+		h.fail("sdc", b, "read returned wrong data without error")
+		return OutcomeSDC
+	}
+	if after.ReadsClean > before.ReadsClean {
+		h.rep.Clean++
+		return OutcomeClean
+	}
+	if after.ReadsRSCorrected > before.ReadsRSCorrected {
+		h.rep.CorrectedRS++
+	}
+	return OutcomeCorrected
+}
+
+// sweep reads and classifies every committed block in ascending order.
+func (h *Harness) sweep() {
+	for _, b := range h.oracle.Blocks() {
+		h.readAndCheck(b)
+	}
+}
+
+// apply fires one scripted event.
+func (h *Harness) apply(ev Event) {
+	switch ev.Kind {
+	case EvDrift:
+		h.rep.BitsInjected += int64(h.rank.InjectRetentionErrors(ev.RBER))
+	case EvFlip:
+		h.applyFlips(ev)
+	case EvChipKill:
+		h.rank.FailChip(h.resolveChip(ev.Chip))
+		h.rep.ChipKills++
+	case EvCrashReboot:
+		h.crashReboot(ev)
+	case EvBootScrub:
+		h.bootScrub()
+	case EvEnterDegraded:
+		if err := h.ctrl.EnterDegradedMode(ev.Chip); err != nil {
+			h.fail("event", -1, fmt.Sprintf("enter-degraded(%d): %v", ev.Chip, err))
+			return
+		}
+		h.degraded = true
+	case EvDeltaCorrupt:
+		h.armDelta = true
+	case EvOMVCorrupt:
+		h.armOMV = true
+	case EvSweep:
+		h.sweep()
+	default:
+		h.fail("event", -1, fmt.Sprintf("unknown event kind %q", ev.Kind))
+	}
+}
+
+// resolveChip maps the Event.Chip sentinels to a chip index.
+func (h *Harness) resolveChip(chip int) int {
+	switch chip {
+	case ChipParity:
+		return h.rank.ParityChipIndex()
+	case ChipRandom:
+		return h.rng.Intn(h.rank.Config().DataChips)
+	default:
+		return chip
+	}
+}
+
+// applyFlips lands Event.Bits targeted single-bit faults inside committed
+// blocks, in the requested region.
+func (h *Harness) applyFlips(ev Event) {
+	rcfg := h.rank.Config()
+	n := rcfg.ChipAccessBytes
+	for i := 0; i < ev.Bits; i++ {
+		b := h.blocks[h.rng.Intn(len(h.blocks))]
+		loc := h.rank.Locate(b)
+		bit := uint(h.rng.Intn(8))
+		switch ev.Region {
+		case RegionParity:
+			h.rank.Chip(h.rank.ParityChipIndex()).
+				FlipDataBit(loc.Bank, loc.Row, loc.Col+h.rng.Intn(n), bit)
+		case RegionCode:
+			ci := ev.Chip
+			if ci < 0 {
+				ci = h.rng.Intn(rcfg.DataChips)
+			}
+			v := loc.VLEWIndex(rcfg.Geometry.VLEWDataBytes)
+			h.rank.Chip(ci).FlipCodeBit(loc.Bank, loc.Row, v,
+				h.rng.Intn(rcfg.Geometry.VLEWCodeBytes), bit)
+		default: // RegionData
+			ci := ev.Chip
+			if ci < 0 {
+				ci = h.rng.Intn(rcfg.DataChips)
+			}
+			h.rank.Chip(ci).FlipDataBit(loc.Bank, loc.Row, loc.Col+h.rng.Intn(n), bit)
+		}
+		h.rep.FlipsInjected++
+	}
+}
+
+// crashReboot drops all volatile state (EURs drain in the chips'
+// power-fail window, per the paper's EUR design; the controller and its
+// counters are rebuilt cold), lets the outage accumulate drift, reboots
+// through BootScrub, and byte-verifies every committed block.
+func (h *Harness) crashReboot(ev Event) {
+	h.rank.CloseAllRows()
+	ctrl, err := core.NewController(h.rank, h.ctrlCfg(), h.omv)
+	if err != nil {
+		h.fail("event", -1, fmt.Sprintf("reboot: %v", err))
+		return
+	}
+	h.ctrl = ctrl
+	h.rep.Crashes++
+	if ev.RBER > 0 {
+		h.rep.BitsInjected += int64(h.rank.InjectRetentionErrors(ev.RBER))
+	}
+	h.bootScrub()
+	h.sweep()
+}
+
+// bootScrub runs BootScrub, optionally hammering the stats contract from
+// a concurrent monitor goroutine.
+func (h *Harness) bootScrub() {
+	var stop chan struct{}
+	var wg sync.WaitGroup
+	if h.c.ProbeStatsDuringScrub {
+		stop = make(chan struct{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = h.ctrl.Stats()
+				}
+			}
+		}()
+	}
+	rep := h.ctrl.BootScrub()
+	if stop != nil {
+		close(stop)
+		wg.Wait()
+	}
+	h.rep.Scrubs++
+	h.rep.ScrubBitsFixed += rep.BitsCorrected
+	if rep.Unrecoverable {
+		h.fail("scrub", -1, rep.String())
+	}
+}
+
+// fail records one failure (capped; the total stays exact).
+func (h *Harness) fail(kind string, block int64, detail string) {
+	h.rep.FailuresTotal++
+	if len(h.rep.Failures) >= maxRecordedFailures {
+		return
+	}
+	h.rep.Failures = append(h.rep.Failures, Failure{
+		Op:     h.opIndex,
+		Block:  block,
+		Kind:   kind,
+		Detail: detail,
+		Repro:  h.rep.Repro,
+	})
+}
+
+// omvSource supplies old memory values from the oracle with a configured
+// hit rate, modelling the LLC's OMV-preserving cache; corruptNext arms a
+// one-shot single-bit OMV fault (a hit, so the fault actually lands).
+type omvSource struct {
+	oracle      *Oracle
+	rng         *rand.Rand
+	hitRate     float64
+	corruptNext bool
+}
+
+// OMV implements core.OMVProvider.
+func (o *omvSource) OMV(block int64) ([]byte, bool) {
+	want, ok := o.oracle.Expected(block)
+	if !ok {
+		return nil, false
+	}
+	if o.corruptNext {
+		o.corruptNext = false
+		bad := append([]byte(nil), want...)
+		bit := o.rng.Intn(len(bad) * 8)
+		bad[bit/8] ^= 1 << uint(bit%8)
+		return bad, true
+	}
+	if o.rng.Float64() >= o.hitRate {
+		return nil, false
+	}
+	return append([]byte(nil), want...), true
+}

@@ -1,0 +1,82 @@
+package inject
+
+// EventKind names one scripted fault (or campaign action). Kinds are
+// strings so reports read without a decoder ring.
+type EventKind string
+
+const (
+	// EvDrift injects retention errors across the whole rank (data and
+	// code regions of every healthy chip) at Event.RBER, modelling time
+	// without refresh.
+	EvDrift EventKind = "drift"
+	// EvFlip flips Event.Bits targeted bits inside committed blocks in
+	// Event.Region (data, code, or parity). Chip selects the data chip
+	// for the data/code regions; -1 picks one at random per flip.
+	EvFlip EventKind = "flip"
+	// EvChipKill fails a whole chip mid-run. Chip is the data-chip index,
+	// or ChipParity for the parity chip.
+	EvChipKill EventKind = "chip-kill"
+	// EvCrashReboot models a power-fail crash and reboot: drain the EURs
+	// (the chips' power-fail window flushes pending code updates, as the
+	// paper's EUR design assumes), discard all volatile controller state,
+	// inject drift at Event.RBER for the outage duration, run BootScrub
+	// on the new controller, and byte-verify every committed block.
+	EvCrashReboot EventKind = "crash-reboot"
+	// EvBootScrub runs a boot scrub without the crash semantics.
+	EvBootScrub EventKind = "boot-scrub"
+	// EvEnterDegraded remaps failed data chip Event.Chip into the parity
+	// chip and re-encodes VLEWs striped across the survivors (Sec V-E).
+	EvEnterDegraded EventKind = "enter-degraded"
+	// EvDeltaCorrupt arms a one-shot write-path fault: the next write's
+	// XOR delta is corrupted by one bit on the bus to one data chip, so
+	// the chip folds the corrupted delta into its data and VLEW code
+	// while the parity chip's RS check delta reflects the true delta.
+	// The per-block RS must catch it on the next read.
+	EvDeltaCorrupt EventKind = "delta-corrupt"
+	// EvOMVCorrupt arms a one-shot old-memory-value fault: the next
+	// write's OMV arrives with one bit flipped, as if the LLC's OMV store
+	// were unprotected. The resulting stored block is a fully consistent
+	// codeword for the *wrong* data — silent corruption only the oracle
+	// can see. Campaigns using it set Expect.AllowSDC to document the
+	// scheme's reliance on an ECC-protected LLC.
+	EvOMVCorrupt EventKind = "omv-corrupt"
+	// EvSweep reads and classifies every committed block.
+	EvSweep EventKind = "read-sweep"
+)
+
+// There is deliberately no "restore" event that rewrites blocks from the
+// oracle between drift rounds: an in-place rewrite computes its VLEW code
+// delta against the *drifted* stored bits, converting every live drift
+// error into a persistent data/code mismatch. The faithful model of a
+// refresh is EvBootScrub, which corrects and writes back both regions.
+
+// Region selects where EvFlip lands.
+type Region string
+
+const (
+	// RegionData flips bits in a data chip's slice of a committed block.
+	RegionData Region = "data"
+	// RegionCode flips bits in the VLEW code slot covering a committed
+	// block on one chip.
+	RegionCode Region = "code"
+	// RegionParity flips bits in the parity chip's check bytes of a
+	// committed block.
+	RegionParity Region = "parity"
+)
+
+// ChipParity is the Event.Chip sentinel selecting the parity chip.
+const ChipParity = -2
+
+// ChipRandom is the Event.Chip sentinel selecting a random data chip.
+const ChipRandom = -1
+
+// Event is one scripted campaign action, fired when the workload reaches
+// operation index AtOp (events sharing an AtOp fire in list order).
+type Event struct {
+	AtOp   int       `json:"at_op"`
+	Kind   EventKind `json:"kind"`
+	RBER   float64   `json:"rber,omitempty"`
+	Chip   int       `json:"chip,omitempty"`
+	Region Region    `json:"region,omitempty"`
+	Bits   int       `json:"bits,omitempty"`
+}

@@ -1,0 +1,58 @@
+// Package inject is a deterministic, scripted fault-campaign engine for
+// the decoupled boot/runtime chipkill-correct scheme.
+//
+// Hand-picked unit tests exercise the paths the author thought of; error
+// profiling literature (HARP, SCREME) shows that real memory protection
+// fails silently exactly in the coverage gaps. This package closes the gap
+// with campaigns: a full core.Controller + rank.Rank stack is driven
+// through a randomized read/write workload interleaved with scripted fault
+// events — retention drift at a configurable RBER, targeted bit flips in
+// the data, VLEW-code, and parity regions, whole-chip kill mid-run,
+// crash-and-reboot (drop volatile state, rerun BootScrub, verify
+// persistence), and write-path delta/OMV corruption — while a shadow-map
+// oracle tracks the expected contents of every committed block.
+//
+// Every read is classified against the oracle:
+//
+//   - clean      — data matched, no correction machinery engaged
+//   - corrected  — data matched after opportunistic RS or VLEW fallback
+//   - DUE        — the controller detected but could not correct (honest)
+//   - SDC        — the controller returned wrong data without error:
+//     silent data corruption, the outcome the scheme exists to
+//     prevent. Any SDC at runtime RBERs fails the campaign.
+//
+// Campaigns are grouped into named suites (smoke, standard, soak, escape)
+// runnable via `go run ./cmd/faultcampaign -suite <name>` or the go test
+// wrappers in this package (long soak campaigns sit behind -tags soak).
+// Every run is reproducible from its seed; failures carry the exact
+// reproduction command.
+package inject
+
+// Outcome classifies one oracle-checked read.
+type Outcome int
+
+const (
+	// OutcomeClean: correct data, no corrections engaged.
+	OutcomeClean Outcome = iota
+	// OutcomeCorrected: correct data after RS or VLEW-fallback correction.
+	OutcomeCorrected
+	// OutcomeDUE: detected-but-uncorrectable, honestly reported.
+	OutcomeDUE
+	// OutcomeSDC: wrong data returned with no error — silent corruption.
+	OutcomeSDC
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeClean:
+		return "clean"
+	case OutcomeCorrected:
+		return "corrected"
+	case OutcomeDUE:
+		return "due"
+	case OutcomeSDC:
+		return "sdc"
+	}
+	return "unknown"
+}

@@ -1,0 +1,49 @@
+package inject
+
+import "sort"
+
+// Oracle is the model-based shadow map: the expected contents of every
+// block the campaign has committed. It is the ground truth that turns
+// "the decoder returned without error" into "the decoder returned the
+// right bytes" — the difference between detecting DUEs and detecting SDC.
+type Oracle struct {
+	blocks map[int64][]byte
+}
+
+// NewOracle returns an empty shadow map.
+func NewOracle() *Oracle {
+	return &Oracle{blocks: make(map[int64][]byte)}
+}
+
+// Commit records data as the expected contents of a block. The engine
+// calls it after every acknowledged write, with the data the writer
+// intended — not what the stack stored — so write-path corruption
+// surfaces as a mismatch on the next read.
+func (o *Oracle) Commit(block int64, data []byte) {
+	buf, ok := o.blocks[block]
+	if !ok || len(buf) != len(data) {
+		buf = make([]byte, len(data))
+		o.blocks[block] = buf
+	}
+	copy(buf, data)
+}
+
+// Expected returns the committed contents of a block.
+func (o *Oracle) Expected(block int64) ([]byte, bool) {
+	d, ok := o.blocks[block]
+	return d, ok
+}
+
+// Len returns the number of committed blocks.
+func (o *Oracle) Len() int { return len(o.blocks) }
+
+// Blocks returns the committed block indices in ascending order, so that
+// verification sweeps are deterministic regardless of map iteration.
+func (o *Oracle) Blocks() []int64 {
+	out := make([]int64, 0, len(o.blocks))
+	for b := range o.blocks {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

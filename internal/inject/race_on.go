@@ -1,0 +1,7 @@
+//go:build race
+
+package inject
+
+// raceEnabled reports whether the race detector is compiled in; heavy
+// campaigns shrink under it to keep `make race` fast.
+const raceEnabled = true

@@ -1,0 +1,19 @@
+//go:build soak
+
+package inject
+
+import "testing"
+
+// TestSoakSuite runs the deep campaigns kept out of the default test
+// run: large-rank drift rounds, repeated crash cycles with a parallel
+// scrub pool, and the full chip-kill matrix including the parity chip.
+// Build with `-tags soak` (see `make soak`).
+func TestSoakSuite(t *testing.T) {
+	rep := requireSuitePass(t, "soak", 1)
+	if rep.TotalSDC != 0 {
+		t.Fatalf("soak suite saw %d SDCs", rep.TotalSDC)
+	}
+	if rep.TotalDUE != 0 {
+		t.Fatalf("soak suite saw %d DUEs", rep.TotalDUE)
+	}
+}

@@ -498,6 +498,25 @@ func (c *Chip) FlipDataBit(bank, row, byteOff int, bit uint) {
 	c.stats.BitErrorsInjected++
 }
 
+// FlipCodeBit flips one stored bit of a VLEW code slot directly in the
+// array, without touching data bits — the code-region counterpart of
+// FlipDataBit, letting fault campaigns target each region (data, code,
+// parity-chip data) independently. byteOff addresses the VLEW's code
+// slot; bit selects the bit within that byte.
+func (c *Chip) FlipCodeBit(bank, row, v, byteOff int, bit uint) {
+	if v < 0 || v >= c.geom.VLEWsPerRow() {
+		panic(fmt.Sprintf("nvram: FlipCodeBit VLEW index %d out of range", v))
+	}
+	if byteOff < 0 || byteOff >= c.geom.VLEWCodeBytes {
+		panic(fmt.Sprintf("nvram: FlipCodeBit offset %d outside code slot (%dB)", byteOff, c.geom.VLEWCodeBytes))
+	}
+	if c.failed {
+		return
+	}
+	c.vlewCode(bank, row, v)[byteOff] ^= 1 << (bit % 8)
+	c.stats.BitErrorsInjected++
+}
+
 // RowWear returns the write count of one row.
 func (c *Chip) RowWear(bank, row int) int64 {
 	c.checkAddr(bank, row)

@@ -1,11 +1,15 @@
 #!/bin/sh
 # check.sh — the gate a change must pass before it lands:
-#   vet + build + full tests, race detector on the concurrent packages,
-#   then the kernel regression harness (refreshes BENCH_kernels.json and
-#   fails on a fast-path/reference speedup regression).
+#   vet + build + full tests (including the smoke fault campaigns and the
+#   checked-in fuzz seed corpora), race detector on the concurrent
+#   packages, a short coverage-guided fuzz pass over both decoders, the
+#   standard fault-injection campaign suite, and the kernel regression
+#   harness (refreshes BENCH_kernels.json and fails on a fast-path/
+#   reference speedup regression).
 #
 # Usage: scripts/check.sh [-quick]
-#   -quick skips the race pass and the benchmark harness.
+#   -quick skips the race pass, the fuzz smoke, the standard campaign
+#   suite, and the benchmark harness.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -22,8 +26,16 @@ echo "== go test"
 go test ./... -count=1
 
 if ! $quick; then
-	echo "== go test -race (core, rank)"
-	go test -race -count=1 ./internal/core/... ./internal/rank/...
+	echo "== go test -race (core, rank, memctrl, sim, inject)"
+	go test -race -count=1 ./internal/core/... ./internal/rank/... \
+		./internal/memctrl/... ./internal/sim/... ./internal/inject/...
+
+	echo "== fuzz smoke (10s per decoder)"
+	go test ./internal/bch/ -fuzz=FuzzDecode -fuzztime=10s
+	go test ./internal/rs/ -fuzz=FuzzDecode -fuzztime=10s
+
+	echo "== fault campaigns (standard suite)"
+	go run ./cmd/faultcampaign -suite standard
 
 	echo "== kernel benchmarks -> BENCH_kernels.json"
 	go run ./cmd/benchkernels -check
