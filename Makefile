@@ -1,7 +1,7 @@
 # Standard entry points; scripts/check.sh is the single source of truth
 # for what "passing" means.
 
-.PHONY: all build test race bench check check-quick campaign soak fuzz
+.PHONY: all build test race bench benchruntime check check-quick campaign soak fuzz
 
 all: build
 
@@ -13,7 +13,8 @@ test:
 
 race:
 	go test -race -count=1 ./internal/core/... ./internal/rank/... \
-		./internal/memctrl/... ./internal/sim/... ./internal/inject/...
+		./internal/memctrl/... ./internal/sim/... ./internal/inject/... \
+		./internal/engine/...
 
 # Kernel microbenchmarks (per-package, human-readable).
 bench:
@@ -22,6 +23,15 @@ bench:
 # Refresh BENCH_kernels.json and fail on fast-path speedup regressions.
 BENCH_kernels.json: FORCE
 	go run ./cmd/benchkernels -check
+
+# Refresh BENCH_runtime.json (end-to-end engine throughput) and fail if
+# aggregate clean-read throughput drops below 3x the frozen seed baseline
+# or the clean read path allocates.
+benchruntime:
+	go run ./cmd/benchruntime -check
+
+BENCH_runtime.json: FORCE
+	go run ./cmd/benchruntime -check
 
 # Fault-injection campaigns (internal/inject). `campaign` is the
 # acceptance suite; `soak` adds the deep campaigns and runs the soak-tagged

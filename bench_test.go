@@ -10,9 +10,11 @@
 package chipkillpm_test
 
 import (
+	"math/rand"
 	"testing"
 
 	"chipkillpm/internal/core"
+	"chipkillpm/internal/engine"
 	"chipkillpm/internal/experiments"
 	"chipkillpm/internal/nvram"
 	"chipkillpm/internal/rank"
@@ -153,6 +155,87 @@ func BenchmarkChipkillRebuild(b *testing.B) {
 		rep := ctrl.BootScrub()
 		if rep.Unrecoverable || rep.BlocksRebuilt != r.Blocks() {
 			b.Fatal("rebuild failed")
+		}
+	}
+}
+
+// --- Runtime demand-path throughput (cmd/benchruntime is the committed
+// harness; these give `go test -bench Engine -benchmem` the same paths) ---
+
+// newBenchEngine builds a populated 4-bank engine for the demand-path
+// benchmarks.
+func newBenchEngine(b *testing.B) *engine.Engine {
+	b.Helper()
+	r, err := rank.New(rank.PaperConfig(4, 8, 1024, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := engine.New(r, engine.Config{Core: core.DefaultConfig(), BatchFanOut: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, eng.BlockBytes())
+	rng := rand.New(rand.NewSource(2))
+	for blk := int64(0); blk < eng.Blocks(); blk++ {
+		rng.Read(buf)
+		if err := eng.WriteBlockInitial(blk, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return eng
+}
+
+func BenchmarkEngineCleanRead(b *testing.B) {
+	eng := newBenchEngine(b)
+	buf := make([]byte, eng.BlockBytes())
+	rng := rand.New(rand.NewSource(3))
+	blocks := eng.Blocks()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.ReadBlockInto(rng.Int63n(blocks), buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineCleanReadBatch(b *testing.B) {
+	eng := newBenchEngine(b)
+	const n = 64
+	bb := eng.BlockBytes()
+	slab := make([]byte, n*bb)
+	ids := make([]int64, n)
+	bufs := make([][]byte, n)
+	errs := make([]error, n)
+	for i := range bufs {
+		bufs[i] = slab[i*bb : (i+1)*bb]
+	}
+	rng := rand.New(rand.NewSource(3))
+	blocks := eng.Blocks()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range ids {
+			ids[j] = rng.Int63n(blocks)
+		}
+		if fails := eng.ReadBlocks(ids, bufs, errs); fails != 0 {
+			b.Fatalf("%d batch reads failed", fails)
+		}
+	}
+	b.ReportMetric(float64(n), "reads/op")
+}
+
+func BenchmarkEngineWrite(b *testing.B) {
+	eng := newBenchEngine(b)
+	buf := make([]byte, eng.BlockBytes())
+	rng := rand.New(rand.NewSource(3))
+	blocks := eng.Blocks()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng.Read(buf)
+		if err := eng.WriteBlock(rng.Int63n(blocks), buf); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -1,0 +1,395 @@
+// Command benchruntime is the end-to-end demand-path throughput harness.
+// Where benchkernels times isolated ECC kernels, this command drives the
+// sharded engine with a fixed population of client goroutines and measures
+// whole-stack reads/sec and writes/sec — chip model, rank, RS check,
+// controller, shard dispatch — at several GOMAXPROCS settings, clean and
+// under drift, with OMV hits and misses. Results are written as JSON, by
+// convention committed as BENCH_runtime.json at the repo root.
+//
+// Every scenario also ran once against the growth seed's single-shard
+// controller (pre-optimization tree: byte-serial RS remainder, allocating
+// read path) on the same scenario code; those numbers are frozen below as
+// seed_ops_per_sec. speedup_vs_seed is only meaningful on comparable
+// hardware. -check enforces the PR gate: aggregate clean-read throughput
+// at GOMAXPROCS=8 must be >= 3x the frozen seed baseline, and the clean
+// read path must report zero allocations per operation.
+//
+// Usage:
+//
+//	go run ./cmd/benchruntime [-out BENCH_runtime.json] [-benchtime 1s] [-check]
+//	go run ./cmd/benchruntime -validate BENCH_runtime.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"chipkillpm/internal/core"
+	"chipkillpm/internal/engine"
+	"chipkillpm/internal/rank"
+)
+
+// Benchmark geometry: an 8-bank rank (16384 blocks, 1 MiB of data) served
+// by one shard per bank to a fixed population of 8 client goroutines.
+const (
+	benchBanks       = 8
+	benchRowsPerBank = 16
+	benchRowBytes    = 1024
+	benchClients     = 8
+	batchSize        = 64
+	driftRBER        = 2e-4
+)
+
+// procsList is the GOMAXPROCS sweep; every value must divide benchClients
+// so the client population stays fixed across the sweep.
+var procsList = []int{1, 4, 8}
+
+// seedOps freezes ops/sec measured at the growth seed (single controller,
+// no sharding, byte-serial RS remainder, allocating read path) on an Intel
+// Xeon @ 2.10 GHz, go1.22, same scenario code and geometry. The batch
+// scenario compares against the single-op seed number: the seed tree had
+// no batch API, and the gate is aggregate clean-read throughput.
+var seedOps = map[string]float64{
+	"engine/CleanRead/p1":      1615088,
+	"engine/CleanRead/p4":      1113479,
+	"engine/CleanRead/p8":      958323,
+	"engine/CleanReadBatch/p1": 1615088,
+	"engine/CleanReadBatch/p4": 1113479,
+	"engine/CleanReadBatch/p8": 958323,
+	"engine/DriftRead/p1":      1137453,
+	"engine/DriftRead/p4":      801377,
+	"engine/DriftRead/p8":      814919,
+	"engine/WriteOMVHit/p1":    60273,
+	"engine/WriteOMVHit/p4":    41080,
+	"engine/WriteOMVHit/p8":    40996,
+	"engine/WriteOMVMiss/p1":   56872,
+	"engine/WriteOMVMiss/p4":   36598,
+	"engine/WriteOMVMiss/p8":   39431,
+}
+
+type result struct {
+	Name          string  `json:"name"`
+	Procs         int     `json:"procs"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	SeedOpsPerSec float64 `json:"seed_ops_per_sec,omitempty"`
+	SpeedupVsSeed float64 `json:"speedup_vs_seed,omitempty"`
+}
+
+type headline struct {
+	// CleanReadSpeedupP8 is aggregate clean-read throughput (the batch
+	// path) at GOMAXPROCS=8 over the frozen seed baseline; the -check
+	// floor is 3x.
+	CleanReadSpeedupP8 float64 `json:"clean_read_speedup_p8"`
+	// CleanReadAllocsPerOp is the worst allocs/op over every clean-read
+	// scenario; the -check ceiling is 0.
+	CleanReadAllocsPerOp int64 `json:"clean_read_allocs_per_op"`
+}
+
+type report struct {
+	GoVersion    string   `json:"go_version"`
+	GoArch       string   `json:"go_arch"`
+	HostMaxProcs int      `json:"host_max_procs"`
+	Geometry     string   `json:"geometry"`
+	Blocks       int64    `json:"blocks"`
+	Shards       int      `json:"shards"`
+	Clients      int      `json:"clients"`
+	SeedNote     string   `json:"seed_note"`
+	Results      []result `json:"results"`
+	Headline     headline `json:"headline"`
+}
+
+// zeroOMV is an always-hit OMV provider handing out a shared all-zero old
+// value. A zero old value keeps codewords consistent (the XOR delta shifts
+// data and check identically), so the OMV-hit write path can be driven
+// without tracking real old contents. Read-only and safe for concurrent
+// shards.
+type zeroOMV struct{ buf []byte }
+
+func (z zeroOMV) OMV(int64) ([]byte, bool) { return z.buf, true }
+
+// newEngine builds a populated rank + engine pair. Every block is filled
+// with a dense pseudo-random pattern so write deltas are realistic (a
+// sparse pattern would make the per-chip VLEW delta encodes nearly free).
+func newEngine(omv core.OMVProvider, fanout int) (*engine.Engine, error) {
+	r, err := rank.New(rank.PaperConfig(benchBanks, benchRowsPerBank, benchRowBytes, 1))
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(r, engine.Config{Shards: benchBanks, Core: core.DefaultConfig(), OMV: omv, BatchFanOut: fanout})
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, eng.BlockBytes())
+	rng := rand.New(rand.NewSource(2))
+	for blk := int64(0); blk < eng.Blocks(); blk++ {
+		rng.Read(buf)
+		if err := eng.WriteBlockInitial(blk, buf); err != nil {
+			return nil, err
+		}
+	}
+	return eng, nil
+}
+
+// measure runs one scenario at one GOMAXPROCS setting with the client
+// population fixed at benchClients goroutines. opsPerIter scales ns/op
+// into per-operation terms for batch scenarios.
+func measure(name string, procs, opsPerIter int, setup func() (*engine.Engine, error),
+	client func(eng *engine.Engine, rng *rand.Rand, buf []byte) func() error) (result, error) {
+	eng, err := setup()
+	if err != nil {
+		return result{}, fmt.Errorf("%s: setup: %w", name, err)
+	}
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+
+	var clientSeq atomic.Int64
+	var failed atomic.Pointer[error]
+	r := testing.Benchmark(func(b *testing.B) {
+		clientSeq.Store(0)
+		b.SetParallelism(benchClients / procs)
+		b.RunParallel(func(pb *testing.PB) {
+			id := clientSeq.Add(1)
+			rng := rand.New(rand.NewSource(100 + id))
+			buf := make([]byte, eng.BlockBytes())
+			op := client(eng, rng, buf)
+			for pb.Next() {
+				if err := op(); err != nil {
+					e := err
+					failed.Store(&e)
+					return
+				}
+			}
+		})
+	})
+	if ep := failed.Load(); ep != nil {
+		return result{}, fmt.Errorf("%s: %w", name, *ep)
+	}
+	nsIter := float64(r.T.Nanoseconds()) / float64(r.N)
+	nsOp := nsIter / float64(opsPerIter)
+	return result{
+		Name:        name,
+		Procs:       procs,
+		NsPerOp:     nsOp,
+		OpsPerSec:   1e9 / nsOp,
+		AllocsPerOp: r.AllocsPerOp() / int64(opsPerIter),
+		BytesPerOp:  r.AllocedBytesPerOp() / int64(opsPerIter),
+	}, nil
+}
+
+// readClient issues single-block corrected reads over random blocks.
+func readClient(eng *engine.Engine, rng *rand.Rand, buf []byte) func() error {
+	blocks := eng.Blocks()
+	return func() error {
+		return eng.ReadBlockInto(rng.Int63n(blocks), buf)
+	}
+}
+
+// batchReadClient issues batchSize-block ReadBlocks calls with inline
+// (fanout 1) dispatch: one lock acquisition per shard group per batch.
+func batchReadClient(eng *engine.Engine, rng *rand.Rand, _ []byte) func() error {
+	blocks := eng.Blocks()
+	bb := eng.BlockBytes()
+	slab := make([]byte, batchSize*bb)
+	ids := make([]int64, batchSize)
+	bufs := make([][]byte, batchSize)
+	errs := make([]error, batchSize)
+	for i := range bufs {
+		bufs[i] = slab[i*bb : (i+1)*bb]
+	}
+	return func() error {
+		for i := range ids {
+			ids[i] = rng.Int63n(blocks)
+		}
+		if fails := eng.ReadBlocks(ids, bufs, errs); fails != 0 {
+			for _, err := range errs {
+				if err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// writeClient issues OMV-XOR writes of dense random data.
+func writeClient(eng *engine.Engine, rng *rand.Rand, buf []byte) func() error {
+	blocks := eng.Blocks()
+	return func() error {
+		rng.Read(buf)
+		return eng.WriteBlock(rng.Int63n(blocks), buf)
+	}
+}
+
+type scenario struct {
+	name       string
+	opsPerIter int
+	setup      func() (*engine.Engine, error)
+	client     func(*engine.Engine, *rand.Rand, []byte) func() error
+}
+
+func scenarios() []scenario {
+	return []scenario{
+		{"engine/CleanRead", 1,
+			func() (*engine.Engine, error) { return newEngine(nil, 1) },
+			readClient},
+		{"engine/CleanReadBatch", batchSize,
+			func() (*engine.Engine, error) { return newEngine(nil, 1) },
+			batchReadClient},
+		{"engine/DriftRead", 1,
+			func() (*engine.Engine, error) {
+				eng, err := newEngine(nil, 1)
+				if err != nil {
+					return nil, err
+				}
+				eng.Quiesce(func() { eng.Rank().InjectRetentionErrors(driftRBER) })
+				return eng, nil
+			},
+			readClient},
+		{"engine/WriteOMVHit", 1,
+			func() (*engine.Engine, error) {
+				return newEngine(zeroOMV{buf: make([]byte, 64)}, 1)
+			},
+			writeClient},
+		{"engine/WriteOMVMiss", 1,
+			func() (*engine.Engine, error) { return newEngine(core.NoOMV{}, 1) },
+			writeClient},
+	}
+}
+
+// validate schema-checks an existing report file (the CI smoke gate).
+func validate(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.GoVersion == "" || rep.Geometry == "" || rep.Clients == 0 || rep.Shards == 0 {
+		return fmt.Errorf("%s: missing run metadata", path)
+	}
+	if len(rep.Results) == 0 {
+		return fmt.Errorf("%s: no results", path)
+	}
+	want := len(scenarios()) * len(procsList)
+	if len(rep.Results) != want {
+		return fmt.Errorf("%s: %d results, want %d (scenarios x procs)", path, len(rep.Results), want)
+	}
+	for _, r := range rep.Results {
+		if r.Name == "" || r.Procs == 0 || r.NsPerOp <= 0 || r.OpsPerSec <= 0 {
+			return fmt.Errorf("%s: malformed result %+v", path, r)
+		}
+	}
+	if rep.Headline.CleanReadSpeedupP8 <= 0 {
+		return fmt.Errorf("%s: missing clean_read_speedup_p8 headline", path)
+	}
+	return nil
+}
+
+func run() error {
+	out := flag.String("out", "BENCH_runtime.json", "output file (- for stdout)")
+	benchtime := flag.Duration("benchtime", 0, "per-benchmark time (0: testing default)")
+	check := flag.Bool("check", false, "exit non-zero when the clean-read gate fails (>= 3x seed at p8, 0 allocs/op)")
+	validatePath := flag.String("validate", "", "schema-check an existing report file instead of benchmarking")
+	flag.Parse()
+	if *validatePath != "" {
+		if err := validate(*validatePath); err != nil {
+			return err
+		}
+		fmt.Printf("%s: valid\n", *validatePath)
+		return nil
+	}
+	if *benchtime > 0 {
+		flag.Set("test.benchtime", benchtime.String())
+	}
+
+	geoCfg := rank.PaperConfig(benchBanks, benchRowsPerBank, benchRowBytes, 1)
+	rep := report{
+		GoVersion:    runtime.Version(),
+		GoArch:       runtime.GOARCH,
+		HostMaxProcs: runtime.GOMAXPROCS(0),
+		Geometry:     fmt.Sprintf("%dx%dx%dB", benchBanks, benchRowsPerBank, benchRowBytes),
+		Blocks:       int64(benchBanks) * int64(benchRowsPerBank) * int64(geoCfg.BlocksPerRow()),
+		Shards:       benchBanks,
+		Clients:      benchClients,
+		SeedNote: "seed_ops_per_sec frozen from the pre-optimization growth seed " +
+			"(single controller, no sharding) on an Intel Xeon @ 2.10 GHz " +
+			"(go1.22, same scenario code); speedup_vs_seed is only meaningful " +
+			"on comparable hardware",
+	}
+
+	for _, sc := range scenarios() {
+		for _, procs := range procsList {
+			r, err := measure(sc.name, procs, sc.opsPerIter, sc.setup, sc.client)
+			if err != nil {
+				return err
+			}
+			key := fmt.Sprintf("%s/p%d", r.Name, r.Procs)
+			if seed, ok := seedOps[key]; ok {
+				r.SeedOpsPerSec = seed
+				r.SpeedupVsSeed = r.OpsPerSec / seed
+			}
+			rep.Results = append(rep.Results, r)
+			fmt.Printf("%-26s p%-2d %10.1f ns/op %12.0f ops/s  %3d allocs/op", r.Name, r.Procs, r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
+			if r.SpeedupVsSeed > 0 {
+				fmt.Printf("  %5.2fx vs seed", r.SpeedupVsSeed)
+			}
+			fmt.Println()
+		}
+	}
+	for _, r := range rep.Results {
+		switch r.Name {
+		case "engine/CleanReadBatch":
+			if r.Procs == 8 {
+				rep.Headline.CleanReadSpeedupP8 = r.SpeedupVsSeed
+			}
+			fallthrough
+		case "engine/CleanRead":
+			if r.AllocsPerOp > rep.Headline.CleanReadAllocsPerOp {
+				rep.Headline.CleanReadAllocsPerOp = r.AllocsPerOp
+			}
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("headline: clean-read x%.2f vs seed at p8, %d allocs/op\n",
+		rep.Headline.CleanReadSpeedupP8, rep.Headline.CleanReadAllocsPerOp)
+	if *check {
+		if rep.Headline.CleanReadSpeedupP8 < 3 {
+			return fmt.Errorf("REGRESSION: clean-read throughput at p8 is only %.2fx the seed baseline (floor 3x)",
+				rep.Headline.CleanReadSpeedupP8)
+		}
+		if rep.Headline.CleanReadAllocsPerOp != 0 {
+			return fmt.Errorf("REGRESSION: clean-read path allocates (%d allocs/op, want 0)",
+				rep.Headline.CleanReadAllocsPerOp)
+		}
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -91,9 +91,10 @@ type Stats struct {
 	ScrubUncorrectable int64
 }
 
-// add accumulates o into s field by field; scrubs use it to publish their
-// whole contribution in one locked step.
-func (s *Stats) add(o Stats) {
+// Add accumulates o into s field by field; scrubs use it to publish their
+// whole contribution in one locked step, and the sharded engine uses it to
+// aggregate per-shard controller snapshots on demand.
+func (s *Stats) Add(o Stats) {
 	s.Reads += o.Reads
 	s.Writes += o.Writes
 	s.ReadsClean += o.ReadsClean
@@ -151,6 +152,16 @@ type Controller struct {
 	// live in the parity chip and VLEWs are striped across the rank.
 	degraded   bool
 	failedChip int
+
+	// Persistent working buffers for the demand paths. The single-owner
+	// contract means at most one demand operation is in flight, so one set
+	// per controller makes steady-state reads and writes allocation-free.
+	readCheckBuf []byte // RS check bytes of the block being read
+	vlewCheckBuf []byte // check bytes recovered from the parity chip's VLEW
+	deltaBuf     []byte // old XOR new data for writes
+	checkDelta   []byte // RS check delta for writes
+	internalBuf  []byte // OMV fetches and other internal reads
+	erasureIdx   []int  // erasure positions for chip-failure decodes
 }
 
 // NewController wires a controller to a rank. The rank must use the
@@ -174,11 +185,17 @@ func NewController(r *rank.Rank, cfg Config, omv OMVProvider) (*Controller, erro
 		omv = NoOMV{}
 	}
 	return &Controller{
-		rank:     r,
-		rsCode:   code,
-		cfg:      cfg,
-		omv:      omv,
-		disabled: make(map[int64]bool),
+		rank:         r,
+		rsCode:       code,
+		cfg:          cfg,
+		omv:          omv,
+		disabled:     make(map[int64]bool),
+		readCheckBuf: make([]byte, checkBytes),
+		vlewCheckBuf: make([]byte, checkBytes),
+		deltaBuf:     make([]byte, bb),
+		checkDelta:   make([]byte, checkBytes),
+		internalBuf:  make([]byte, bb),
+		erasureIdx:   make([]int, checkBytes),
 	}, nil
 }
 
@@ -210,7 +227,7 @@ func (c *Controller) ResetStats() {
 func (c *Controller) addStats(d Stats) {
 	c.statsMu.Lock()
 	defer c.statsMu.Unlock()
-	c.stats.add(d)
+	c.stats.Add(d)
 }
 
 // DisableBlock retires a worn-out block (Sec V-E). The VLEW code bits are
@@ -236,44 +253,74 @@ func (c *Controller) BlockDisabled(block int64) bool { return c.disabled[block] 
 // accept opportunistic correction up to the threshold, otherwise fall back
 // to VLEW correction, and treat a VLEW-uncorrectable chip as failed.
 func (c *Controller) ReadBlock(block int64) ([]byte, error) {
+	dst := make([]byte, c.rank.Config().BlockBytes())
+	if err := c.ReadBlockInto(block, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// ReadBlockInto is ReadBlock into a caller-owned buffer of BlockBytes().
+// The steady-state (clean or RS-corrected) path performs zero allocations:
+// chips copy straight into dst, the RS check runs one table-driven pass,
+// and all scratch lives in per-controller buffers or the decoder pool. On
+// error, dst's contents are unspecified.
+func (c *Controller) ReadBlockInto(block int64, dst []byte) error {
+	if len(dst) != c.rank.Config().BlockBytes() {
+		return fmt.Errorf("core: ReadBlockInto: got %d byte buffer, want %d", len(dst), c.rank.Config().BlockBytes())
+	}
 	if c.disabled[block] {
-		return nil, fmt.Errorf("block %d: %w", block, ErrBlockDisabled)
+		return fmt.Errorf("block %d: %w", block, ErrBlockDisabled)
 	}
 	c.stats.Reads++
 	if c.degraded {
-		return c.readDegraded(block)
+		data, err := c.readDegraded(block)
+		if err != nil {
+			return err
+		}
+		copy(dst, data)
+		return nil
 	}
-	return c.readCorrected(block)
+	return c.readCorrectedInto(dst, block)
 }
 
 // readForInternalUse reads and corrects a block without counting it as a
-// demand read.
+// demand read. The returned slice aliases the controller's internal buffer
+// and is valid until the next internal read.
 func (c *Controller) readForInternalUse(block int64) ([]byte, error) {
-	return c.readCorrected(block)
+	if c.degraded {
+		return c.readDegraded(block)
+	}
+	if err := c.readCorrectedInto(c.internalBuf, block); err != nil {
+		return nil, err
+	}
+	return c.internalBuf, nil
 }
 
-func (c *Controller) readCorrected(block int64) ([]byte, error) {
-	data, check := c.rank.ReadBlockRaw(block)
+func (c *Controller) readCorrectedInto(dst []byte, block int64) error {
+	c.rank.ReadBlockRawInto(block, dst, c.readCheckBuf)
 	c.stats.BlockFetches++
-	corrections, err := c.rsCode.DecodeLimited(data, check, c.cfg.Threshold)
-	switch {
-	case err == nil && len(corrections) == 0:
+	// Fast path: most reads are clean, and Check is one sliced LFSR pass
+	// plus an 8-byte compare — no decoder setup, no allocations.
+	if c.rsCode.Check(dst, c.readCheckBuf) {
 		c.stats.ReadsClean++
-		return data, nil
-	case err == nil:
+		return nil
+	}
+	corrections, err := c.rsCode.DecodeLimited(dst, c.readCheckBuf, c.cfg.Threshold)
+	if err == nil {
 		c.stats.ReadsRSCorrected++
 		c.stats.BitsCorrectedRS += int64(len(corrections))
-		return data, nil
+		return nil
 	}
 	// Threshold exceeded or RS-uncorrectable: VLEW fallback (Sec V-C).
 	c.stats.ReadsVLEWFallback++
-	return c.vlewCorrectBlock(block)
+	return c.vlewCorrectBlockInto(dst, block)
 }
 
-// vlewCorrectBlock corrects one block through the VLEWs of every chip,
+// vlewCorrectBlockInto corrects one block through the VLEWs of every chip,
 // then lets the per-block RS handle any chip whose VLEW was uncorrectable
 // (a chip-level fault) via erasure correction.
-func (c *Controller) vlewCorrectBlock(block int64) ([]byte, error) {
+func (c *Controller) vlewCorrectBlockInto(dst []byte, block int64) error {
 	rcfg := c.rank.Config()
 	loc := c.rank.Locate(block)
 	v := loc.VLEWIndex(rcfg.Geometry.VLEWDataBytes)
@@ -286,8 +333,8 @@ func (c *Controller) vlewCorrectBlock(block int64) ([]byte, error) {
 	c.stats.BlockFetches += int64(rcfg.Geometry.VLEWDataBytes/n) +
 		int64((rcfg.Geometry.VLEWCodeBytes+n-1)/n)
 
-	data := make([]byte, rcfg.BlockBytes())
-	var check []byte
+	check := c.vlewCheckBuf
+	checkOK := false
 	var failedChips []int
 	for ci := 0; ci < c.rank.NumChips(); ci++ {
 		chip := c.rank.Chip(ci)
@@ -299,20 +346,21 @@ func (c *Controller) vlewCorrectBlock(block int64) ([]byte, error) {
 		}
 		c.stats.BitsCorrectedVLEW += int64(fixed)
 		if ci == c.rank.ParityChipIndex() {
-			check = append([]byte(nil), vData[inOff:inOff+n]...)
+			copy(check, vData[inOff:inOff+n])
+			checkOK = true
 		} else {
-			copy(data[ci*n:(ci+1)*n], vData[inOff:inOff+n])
+			copy(dst[ci*n:(ci+1)*n], vData[inOff:inOff+n])
 		}
 	}
 
 	switch len(failedChips) {
 	case 0:
 		// All chips' bit errors corrected; verify with RS for safety.
-		if corr, err := c.rsCode.Decode(data, check, nil); err == nil {
+		if corr, err := c.rsCode.Decode(dst, check, nil); err == nil {
 			c.stats.BitsCorrectedRS += int64(len(corr))
 		} else {
 			c.stats.Uncorrectable++
-			return nil, fmt.Errorf("block %d: VLEW-corrected data fails RS: %w", block, ErrUncorrectable)
+			return fmt.Errorf("block %d: VLEW-corrected data fails RS: %w", block, ErrUncorrectable)
 		}
 	case 1:
 		ci := failedChips[0]
@@ -322,29 +370,31 @@ func (c *Controller) vlewCorrectBlock(block int64) ([]byte, error) {
 			// is already corrected.
 			break
 		}
-		// Erase the failed chip's bytes and reconstruct via RS.
-		erasures := make([]int, n)
+		if !checkOK {
+			c.stats.Uncorrectable++
+			return fmt.Errorf("block %d: chip %d failed and parity unavailable: %w", block, ci, ErrUncorrectable)
+		}
+		// Erase the failed chip's bytes and reconstruct via RS. Erasure
+		// decoding replaces whatever the failed chip returned, so dst needs
+		// no pre-zeroing.
+		erasures := c.erasureIdx[:n]
 		for i := 0; i < n; i++ {
 			erasures[i] = ci*n + i
 		}
-		if check == nil {
+		if _, err := c.rsCode.Decode(dst, check, erasures); err != nil {
 			c.stats.Uncorrectable++
-			return nil, fmt.Errorf("block %d: chip %d failed and parity unavailable: %w", block, ci, ErrUncorrectable)
-		}
-		if _, err := c.rsCode.Decode(data, check, erasures); err != nil {
-			c.stats.Uncorrectable++
-			return nil, fmt.Errorf("block %d: erasure correction failed: %w", block, ErrUncorrectable)
+			return fmt.Errorf("block %d: erasure correction failed: %w", block, ErrUncorrectable)
 		}
 	default:
 		c.stats.Uncorrectable++
-		return nil, fmt.Errorf("block %d: %d chips uncorrectable: %w", block, len(failedChips), ErrUncorrectable)
+		return fmt.Errorf("block %d: %d chips uncorrectable: %w", block, len(failedChips), ErrUncorrectable)
 	}
 
 	if c.cfg.WriteBackVLEWCorrections {
-		c.rank.WriteBlockRaw(block, data, c.rsCode.Encode(data))
+		c.rank.WriteBlockRaw(block, dst, c.rsCode.Encode(dst))
 		c.stats.BlockWrites++
 	}
-	return data, nil
+	return nil
 }
 
 // WriteBlock implements the runtime write path (Fig 12): obtain the old
@@ -373,7 +423,7 @@ func (c *Controller) WriteBlock(block int64, newData []byte) error {
 			return fmt.Errorf("core: fetching OMV for block %d: %w", block, err)
 		}
 	}
-	delta := make([]byte, len(newData))
+	delta := c.deltaBuf
 	for i := range delta {
 		delta[i] = old[i] ^ newData[i]
 	}
@@ -385,8 +435,8 @@ func (c *Controller) WriteBlock(block int64, newData []byte) error {
 // check(old) XOR check(new) = check(old XOR new)) to the rank as one
 // bitwise-sum write.
 func (c *Controller) writeDelta(block int64, delta []byte) {
-	checkDelta := c.rsCode.Encode(delta)
-	c.rank.WriteBlockXOR(block, delta, checkDelta)
+	c.rsCode.EncodeInto(c.checkDelta, delta)
+	c.rank.WriteBlockXOR(block, delta, c.checkDelta)
 	c.stats.BlockWrites++
 }
 

@@ -139,6 +139,24 @@ func (c *Controller) EnterDegradedMode(failedChip int) error {
 	return nil
 }
 
+// AdoptDegradedMode switches the controller's addressing to the degraded
+// (remapped) layout without performing the physical remap itself. The
+// sharded engine uses it: one shard's controller runs EnterDegradedMode
+// (which rewrites the whole rank under quiescence) and every other shard
+// adopts the resulting layout, since the striped format on the chips is a
+// rank-wide property, not per-controller state.
+func (c *Controller) AdoptDegradedMode(failedChip int) error {
+	if c.degraded {
+		return fmt.Errorf("core: already degraded (chip %d)", c.failedChip)
+	}
+	if failedChip < 0 || failedChip >= c.rank.Config().DataChips {
+		return fmt.Errorf("core: chip %d is not a data chip", failedChip)
+	}
+	c.degraded = true
+	c.failedChip = failedChip
+	return nil
+}
+
 // readDegraded services a read in degraded mode: fetch the block's
 // striped VLEW (four blocks + code), decode, and return the block.
 // Without per-block RS bits this is also the only error detection, so

@@ -1,0 +1,255 @@
+// Package engine provides a sharded concurrent demand engine over one
+// persistent-memory rank.
+//
+// core.Controller is deliberately single-owner: it models a per-channel
+// memory controller and keeps its demand paths lock- and allocation-free.
+// The engine scales that to many concurrent clients by partitioning the
+// block space along the bank ownership already implicit in rank.Locate:
+// every block maps to exactly one bank, all mutable per-bank chip state is
+// disjoint (see the nvram.Chip contract), so banks are the natural unit of
+// parallelism — exactly as in real DRAM/NVRAM systems, where banks operate
+// independently behind their own row buffers.
+//
+// Each shard owns the banks b with b % Shards == s and wraps its own
+// unmodified core.Controller view of the shared rank behind one striped
+// mutex. Striped mutexes were chosen over per-shard request channels: an
+// uncontended mutex handoff costs tens of nanoseconds and is
+// allocation-free, while a channel round trip costs several hundred
+// nanoseconds plus request/response envelopes — at the ~300 ns scale of
+// the clean-read path the channel tax would exceed the work being
+// dispatched. DESIGN.md §9 has the full argument and the ordering rules.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"chipkillpm/internal/core"
+	"chipkillpm/internal/rank"
+)
+
+// Config tunes the engine.
+type Config struct {
+	// Shards is the number of shard locks/controllers. Zero means one per
+	// bank (the maximum useful value); larger values are clamped to the
+	// bank count, since two shards can never split one bank.
+	Shards int
+	// Core configures every shard's controller identically.
+	Core core.Config
+	// OMV supplies old memory values to all shards' write paths. Because
+	// shards run concurrently, a non-nil provider must itself be safe for
+	// concurrent use. nil means every write fetches its OMV from memory.
+	OMV core.OMVProvider
+	// BatchFanOut bounds the goroutines a batch call may use across shard
+	// groups: 0 means min(GOMAXPROCS, shards), 1 forces inline execution
+	// (still batched per shard, just on the caller's goroutine), larger
+	// values cap the fan-out.
+	BatchFanOut int
+}
+
+type shard struct {
+	mu   sync.Mutex
+	ctrl *core.Controller
+	_    [40]byte // pad to a cache line so shard locks don't false-share
+}
+
+// Engine dispatches demand reads and writes across bank-sharded
+// controllers.
+//
+// Concurrency contract: ReadBlock/ReadBlockInto/WriteBlock/
+// WriteBlockInitial/DisableBlock, the batch APIs, and Stats/ResetStats are
+// all safe for concurrent use. BootScrub, EnterDegradedMode and Quiesce
+// acquire every shard lock, so they serialise against all demand traffic
+// but must not be called from inside another quiescent section.
+type Engine struct {
+	rank     *rank.Rank
+	shards   []*shard
+	banks    int64
+	bpr      int64 // blocks per row
+	fanout   int   // batch fan-out cap from Config; 0 = auto
+	planPool sync.Pool
+}
+
+// New builds an engine over the rank. The rank must be quiescent (freshly
+// built or scrubbed); the engine assumes sole ownership of its demand
+// traffic from then on.
+func New(r *rank.Rank, cfg Config) (*Engine, error) {
+	banks := r.Config().Geometry.Banks
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("engine: shards %d must be >= 0", cfg.Shards)
+	}
+	n := cfg.Shards
+	if n == 0 || n > banks {
+		n = banks
+	}
+	if cfg.BatchFanOut < 0 {
+		return nil, fmt.Errorf("engine: batch fan-out %d must be >= 0", cfg.BatchFanOut)
+	}
+	e := &Engine{
+		rank:   r,
+		banks:  int64(banks),
+		bpr:    int64(r.Config().BlocksPerRow()),
+		fanout: cfg.BatchFanOut,
+	}
+	for s := 0; s < n; s++ {
+		ctrl, err := core.NewController(r, cfg.Core, cfg.OMV)
+		if err != nil {
+			return nil, fmt.Errorf("engine: shard %d: %w", s, err)
+		}
+		e.shards = append(e.shards, &shard{ctrl: ctrl})
+	}
+	return e, nil
+}
+
+// Rank returns the underlying rank.
+func (e *Engine) Rank() *rank.Rank { return e.rank }
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Blocks returns the rank's capacity in blocks.
+func (e *Engine) Blocks() int64 { return e.rank.Blocks() }
+
+// BlockBytes returns the block size the demand APIs move.
+func (e *Engine) BlockBytes() int { return e.rank.Config().BlockBytes() }
+
+// shardOf maps a block to the shard owning its bank; mirrors rank.Locate.
+func (e *Engine) shardOf(block int64) int {
+	return int((block / e.bpr) % e.banks % int64(len(e.shards)))
+}
+
+// ReadBlockInto reads one block into a caller-owned buffer of
+// BlockBytes(), running the controller's zero-allocation corrected read
+// under the owning shard's lock.
+func (e *Engine) ReadBlockInto(block int64, dst []byte) error {
+	s := e.shards[e.shardOf(block)]
+	s.mu.Lock()
+	err := s.ctrl.ReadBlockInto(block, dst)
+	s.mu.Unlock()
+	return err
+}
+
+// ReadBlock is ReadBlockInto returning a fresh buffer.
+func (e *Engine) ReadBlock(block int64) ([]byte, error) {
+	dst := make([]byte, e.BlockBytes())
+	if err := e.ReadBlockInto(block, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// WriteBlock writes one block through the OMV-XOR write path under the
+// owning shard's lock.
+func (e *Engine) WriteBlock(block int64, data []byte) error {
+	s := e.shards[e.shardOf(block)]
+	s.mu.Lock()
+	err := s.ctrl.WriteBlock(block, data)
+	s.mu.Unlock()
+	return err
+}
+
+// WriteBlockInitial writes a block conventionally (raw data on the bus);
+// used to populate memory.
+func (e *Engine) WriteBlockInitial(block int64, data []byte) error {
+	s := e.shards[e.shardOf(block)]
+	s.mu.Lock()
+	err := s.ctrl.WriteBlockInitial(block, data)
+	s.mu.Unlock()
+	return err
+}
+
+// DisableBlock retires a worn-out block on its owning shard.
+func (e *Engine) DisableBlock(block int64) {
+	s := e.shards[e.shardOf(block)]
+	s.mu.Lock()
+	s.ctrl.DisableBlock(block)
+	s.mu.Unlock()
+}
+
+// BlockDisabled reports whether a block has been retired.
+func (e *Engine) BlockDisabled(block int64) bool {
+	s := e.shards[e.shardOf(block)]
+	s.mu.Lock()
+	d := s.ctrl.BlockDisabled(block)
+	s.mu.Unlock()
+	return d
+}
+
+// Stats aggregates every shard's counters on demand. Each shard is
+// snapshotted under its lock, so the result never tears an individual
+// controller's counters and is safe to call concurrently with demand
+// traffic; across shards it is a sequence of consistent snapshots, not a
+// single instant.
+func (e *Engine) Stats() core.Stats {
+	var total core.Stats
+	for _, s := range e.shards {
+		s.mu.Lock()
+		snap := s.ctrl.Stats()
+		s.mu.Unlock()
+		total.Add(snap)
+	}
+	return total
+}
+
+// ResetStats zeroes every shard's counters.
+func (e *Engine) ResetStats() {
+	for _, s := range e.shards {
+		s.mu.Lock()
+		s.ctrl.ResetStats()
+		s.mu.Unlock()
+	}
+}
+
+// Quiesce runs f with every shard lock held (in shard order, so nested
+// quiescence attempts would deadlock rather than interleave): no demand
+// operation runs concurrently with f. Rank-wide maintenance — fault
+// injection, wear-out events, row-close sweeps — must go through it.
+func (e *Engine) Quiesce(f func()) {
+	for _, s := range e.shards {
+		s.mu.Lock()
+	}
+	f()
+	for i := len(e.shards) - 1; i >= 0; i-- {
+		e.shards[i].mu.Unlock()
+	}
+}
+
+// BootScrub runs the boot-time scrub under full quiescence. The scrub
+// itself fans workers across (chip, bank) pairs internally; its counters
+// land on shard 0's controller and therefore appear in Stats.
+func (e *Engine) BootScrub() core.ScrubReport {
+	var rep core.ScrubReport
+	e.Quiesce(func() {
+		rep = e.shards[0].ctrl.BootScrub()
+	})
+	return rep
+}
+
+// EnterDegradedMode remaps the rank around a failed data chip under full
+// quiescence: shard 0's controller performs the physical remap and every
+// other shard adopts the new layout (the striped format lives on the
+// chips, not in controller state).
+func (e *Engine) EnterDegradedMode(failedChip int) error {
+	var err error
+	e.Quiesce(func() {
+		if err = e.shards[0].ctrl.EnterDegradedMode(failedChip); err != nil {
+			return
+		}
+		for _, s := range e.shards[1:] {
+			if aerr := s.ctrl.AdoptDegradedMode(failedChip); aerr != nil && err == nil {
+				err = aerr
+			}
+		}
+	})
+	return err
+}
+
+// Degraded reports whether the engine is in degraded mode and for which
+// chip.
+func (e *Engine) Degraded() (bool, int) {
+	s := e.shards[0]
+	s.mu.Lock()
+	d, chip := s.ctrl.Degraded()
+	s.mu.Unlock()
+	return d, chip
+}

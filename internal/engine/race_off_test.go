@@ -1,0 +1,7 @@
+//go:build !race
+
+package engine
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation pins skip under it because race instrumentation allocates.
+const raceEnabled = false

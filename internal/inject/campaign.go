@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"chipkillpm/internal/core"
+	"chipkillpm/internal/engine"
 	"chipkillpm/internal/rank"
 )
 
@@ -47,6 +48,13 @@ type Campaign struct {
 	// ScrubWorkers sizes the boot-scrub pool (0 = GOMAXPROCS).
 	ScrubWorkers int `json:"scrub_workers,omitempty"`
 
+	// EngineShards > 0 drives every demand operation through a sharded
+	// engine.Engine with that many shards instead of a bare controller.
+	// The workload itself stays serial (determinism), so a campaign run
+	// in engine mode must report identical totals to the serial run —
+	// which is exactly what the engine-mode tests assert.
+	EngineShards int `json:"engine_shards,omitempty"`
+
 	// ProbeStatsDuringScrub spawns a goroutine hammering Controller.
 	// Stats while each BootScrub runs, exercising the documented stats
 	// concurrency contract (meaningful under -race).
@@ -56,14 +64,16 @@ type Campaign struct {
 	Expect Expect  `json:"expect"`
 }
 
-// Harness couples one controller + rank stack with the shadow-map oracle
-// and drives a campaign through it.
+// Harness couples one demand backend (a bare controller, or a sharded
+// engine when the campaign sets EngineShards) + rank stack with the
+// shadow-map oracle and drives a campaign through it.
 type Harness struct {
 	c      Campaign
 	suite  string
 	rng    *rand.Rand
 	rank   *rank.Rank
-	ctrl   *core.Controller
+	ctrl   *core.Controller // nil when eng is set
+	eng    *engine.Engine   // nil when ctrl is set
 	oracle *Oracle
 	omv    *omvSource
 	rep    *CampaignReport
@@ -122,9 +132,17 @@ func NewHarness(suite string, c Campaign) (*Harness, error) {
 		blockBytes: r.Config().BlockBytes(),
 	}
 	h.omv = &omvSource{oracle: h.oracle, rng: rand.New(rand.NewSource(seed + 2)), hitRate: c.OMVHitRate}
-	h.ctrl, err = core.NewController(r, h.ctrlCfg(), h.omv)
-	if err != nil {
-		return nil, fmt.Errorf("inject: building controller: %w", err)
+	if c.EngineShards > 0 {
+		h.rep.EngineShards = c.EngineShards
+		h.eng, err = engine.New(r, h.engCfg())
+		if err != nil {
+			return nil, fmt.Errorf("inject: building engine: %w", err)
+		}
+	} else {
+		h.ctrl, err = core.NewController(r, h.ctrlCfg(), h.omv)
+		if err != nil {
+			return nil, fmt.Errorf("inject: building controller: %w", err)
+		}
 	}
 	return h, nil
 }
@@ -133,8 +151,62 @@ func (h *Harness) ctrlCfg() core.Config {
 	return core.Config{Threshold: h.c.Threshold, ScrubWorkers: h.c.ScrubWorkers}
 }
 
-// Controller exposes the live controller (it changes across crash events).
+func (h *Harness) engCfg() engine.Config {
+	return engine.Config{Shards: h.c.EngineShards, Core: h.ctrlCfg(), OMV: h.omv}
+}
+
+// Controller exposes the live controller (it changes across crash events);
+// nil when the campaign runs in engine mode.
 func (h *Harness) Controller() *core.Controller { return h.ctrl }
+
+// Engine exposes the live engine; nil outside engine mode.
+func (h *Harness) Engine() *engine.Engine { return h.eng }
+
+// Demand-backend indirection: every workload touch of memory goes through
+// these, so serial-controller and sharded-engine campaigns share one code
+// path and must produce identical reports.
+
+func (h *Harness) readBlock(b int64) ([]byte, error) {
+	if h.eng != nil {
+		return h.eng.ReadBlock(b)
+	}
+	return h.ctrl.ReadBlock(b)
+}
+
+func (h *Harness) writeBlock(b int64, data []byte) error {
+	if h.eng != nil {
+		return h.eng.WriteBlock(b, data)
+	}
+	return h.ctrl.WriteBlock(b, data)
+}
+
+func (h *Harness) writeInitial(b int64, data []byte) error {
+	if h.eng != nil {
+		return h.eng.WriteBlockInitial(b, data)
+	}
+	return h.ctrl.WriteBlockInitial(b, data)
+}
+
+func (h *Harness) stats() core.Stats {
+	if h.eng != nil {
+		return h.eng.Stats()
+	}
+	return h.ctrl.Stats()
+}
+
+func (h *Harness) runBootScrub() core.ScrubReport {
+	if h.eng != nil {
+		return h.eng.BootScrub()
+	}
+	return h.ctrl.BootScrub()
+}
+
+func (h *Harness) enterDegraded(chip int) error {
+	if h.eng != nil {
+		return h.eng.EnterDegradedMode(chip)
+	}
+	return h.ctrl.EnterDegradedMode(chip)
+}
 
 // Rank exposes the rank under test.
 func (h *Harness) Rank() *rank.Rank { return h.rank }
@@ -194,7 +266,7 @@ func (h *Harness) initWorkingSet() {
 		b := i * stride
 		data := make([]byte, h.blockBytes)
 		h.rng.Read(data)
-		if err := h.ctrl.WriteBlockInitial(b, data); err != nil {
+		if err := h.writeInitial(b, data); err != nil {
 			h.fail("write", b, fmt.Sprintf("init: %v", err))
 			continue
 		}
@@ -225,7 +297,7 @@ func (h *Harness) writeOp(b int64) {
 	}
 	armDelta := h.armDelta
 	h.armDelta = false
-	if err := h.ctrl.WriteBlock(b, data); err != nil {
+	if err := h.writeBlock(b, data); err != nil {
 		h.fail("write", b, err.Error())
 		return
 	}
@@ -258,9 +330,9 @@ func (h *Harness) readAndCheck(b int64) Outcome {
 	if !ok {
 		return OutcomeClean
 	}
-	before := h.ctrl.Stats()
-	got, err := h.ctrl.ReadBlock(b)
-	after := h.ctrl.Stats()
+	before := h.stats()
+	got, err := h.readBlock(b)
+	after := h.stats()
 	h.rep.Reads++
 	if after.ReadsVLEWFallback > before.ReadsVLEWFallback {
 		h.rep.Fallback++
@@ -307,7 +379,7 @@ func (h *Harness) apply(ev Event) {
 	case EvBootScrub:
 		h.bootScrub()
 	case EvEnterDegraded:
-		if err := h.ctrl.EnterDegradedMode(ev.Chip); err != nil {
+		if err := h.enterDegraded(ev.Chip); err != nil {
 			h.fail("event", -1, fmt.Sprintf("enter-degraded(%d): %v", ev.Chip, err))
 			return
 		}
@@ -373,12 +445,21 @@ func (h *Harness) applyFlips(ev Event) {
 // through BootScrub, and byte-verifies every committed block.
 func (h *Harness) crashReboot(ev Event) {
 	h.rank.CloseAllRows()
-	ctrl, err := core.NewController(h.rank, h.ctrlCfg(), h.omv)
-	if err != nil {
-		h.fail("event", -1, fmt.Sprintf("reboot: %v", err))
-		return
+	if h.eng != nil {
+		eng, err := engine.New(h.rank, h.engCfg())
+		if err != nil {
+			h.fail("event", -1, fmt.Sprintf("reboot: %v", err))
+			return
+		}
+		h.eng = eng
+	} else {
+		ctrl, err := core.NewController(h.rank, h.ctrlCfg(), h.omv)
+		if err != nil {
+			h.fail("event", -1, fmt.Sprintf("reboot: %v", err))
+			return
+		}
+		h.ctrl = ctrl
 	}
-	h.ctrl = ctrl
 	h.rep.Crashes++
 	if ev.RBER > 0 {
 		h.rep.BitsInjected += int64(h.rank.InjectRetentionErrors(ev.RBER))
@@ -402,12 +483,12 @@ func (h *Harness) bootScrub() {
 				case <-stop:
 					return
 				default:
-					_ = h.ctrl.Stats()
+					_ = h.stats()
 				}
 			}
 		}()
 	}
-	rep := h.ctrl.BootScrub()
+	rep := h.runBootScrub()
 	if stop != nil {
 		close(stop)
 		wg.Wait()

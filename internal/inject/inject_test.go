@@ -125,11 +125,53 @@ func TestCampaignDeterminism(t *testing.T) {
 	}
 }
 
+// TestEngineCampaignMatchesSerial pins the engine backend's semantics:
+// a campaign driven serially through the sharded engine must produce the
+// exact report — counter for counter — that the bare controller produces.
+// Same name and seed give identical rng streams; the only report fields
+// allowed to differ are the timing and the engine_shards tag itself.
+func TestEngineCampaignMatchesSerial(t *testing.T) {
+	c := Campaign{
+		Name: "engine-equivalence", Seed: 17,
+		Banks: 4, RowsPerBank: 8, RowBytes: 1024,
+		Ops: 1500, WriteFrac: 0.4, OMVHitRate: 0.6,
+		ScrubWorkers: 2,
+		Events: []Event{
+			{AtOp: 200, Kind: EvDrift, RBER: 2e-4},
+			{AtOp: 600, Kind: EvChipKill, Chip: 1},
+			{AtOp: 900, Kind: EvCrashReboot, RBER: 5e-4},
+		},
+	}
+	serial := RunCampaign("unit", c)
+	c.EngineShards = 4
+	engined := RunCampaign("unit", c)
+
+	if !serial.Pass {
+		t.Fatalf("serial campaign failed: %s", serial.Reason)
+	}
+	if !engined.Pass {
+		t.Fatalf("engine campaign failed: %s", engined.Reason)
+	}
+	if engined.SDC != 0 || engined.DUE != 0 {
+		t.Fatalf("engine campaign leaked: sdc=%d due=%d", engined.SDC, engined.DUE)
+	}
+	if engined.EngineShards != 4 {
+		t.Fatalf("engine report tagged with %d shards, want 4", engined.EngineShards)
+	}
+	serial.ElapsedMS, engined.ElapsedMS = 0, 0
+	serial.EngineShards, engined.EngineShards = 0, 0
+	js, _ := json.Marshal(serial)
+	je, _ := json.Marshal(engined)
+	if string(js) != string(je) {
+		t.Fatalf("engine and serial backends diverged:\nserial: %s\nengine: %s", js, je)
+	}
+}
+
 // TestSeedChangesOutcome guards against the engine silently ignoring the
 // seed: different seeds must drive different workloads.
 func TestSeedChangesOutcome(t *testing.T) {
 	c := Campaign{
-		Name: "seed-sensitivity",
+		Name:  "seed-sensitivity",
 		Banks: 1, RowsPerBank: 2, RowBytes: 512,
 		Ops: 500, WriteFrac: 0.5, OMVHitRate: 0.5,
 		Events: []Event{{AtOp: 0, Kind: EvDrift, RBER: 2e-4}},

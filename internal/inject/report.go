@@ -54,6 +54,9 @@ type CampaignReport struct {
 	Seed     int64  `json:"seed"`
 	Geometry string `json:"geometry"`
 	Blocks   int64  `json:"blocks"`
+	// EngineShards is nonzero when demand ops ran through the sharded
+	// engine rather than a bare controller.
+	EngineShards int `json:"engine_shards,omitempty"`
 
 	Ops    int64 `json:"ops"`
 	Reads  int64 `json:"reads"` // classified reads (workload + sweeps)

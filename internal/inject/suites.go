@@ -52,6 +52,17 @@ func smokeSuite(seed int64) []Campaign {
 			},
 		},
 		{
+			// Same drift campaign driven through the sharded engine: the
+			// engine backend must survive a fault campaign with zero
+			// SDC/DUE just like the bare controller.
+			Name: "smoke-drift-engine", Seed: seed,
+			EngineShards: 2,
+			Ops:          2000, WriteFrac: 0.3, OMVHitRate: 0.7,
+			Events: []Event{
+				{AtOp: 0, Kind: EvDrift, RBER: 2e-4},
+			},
+		},
+		{
 			// Crash-and-reboot: volatile state dropped, outage drift at
 			// boot-scale RBER, BootScrub, then byte-for-byte persistence.
 			Name: "smoke-crash", Seed: seed,

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"chipkillpm/internal/bch"
 	"chipkillpm/internal/gf"
@@ -80,22 +81,38 @@ func (s Stats) CFactor() float64 {
 // embeds a linear BCH encoder for VLEW code bits and an EUR that coalesces
 // code-bit updates per open-row VLEW until the row closes (Fig 11).
 //
-// Concurrency contract: ReadVLEW and WriteVLEW take the chip's internal
-// mutex and may be called concurrently — the parallel boot scrub fans
-// workers out across (chip, bank) pairs, so two workers can hit the same
-// chip at once. Every other method requires external serialisation, which
-// matches real hardware: the memory controller serialises demand accesses
-// to a rank. Decoding (the expensive part of a scrub) happens outside the
-// chip and needs no lock.
+// Concurrency contract (mirrors real hardware, where each bank operates
+// independently behind its own row buffer):
+//
+//   - ReadVLEW and WriteVLEW take the chip's internal mutex and may be
+//     called concurrently from anywhere — the parallel boot scrub fans
+//     workers out across (chip, bank) pairs.
+//   - The bank-addressed demand methods (ReadData, ReadDataInto, WriteData,
+//     WriteXOR, WriteDataRaw, OpenRow, CloseRow, XORCode, ReadCode) may run
+//     concurrently so long as no two goroutines touch the same bank at the
+//     same time: all mutable per-bank state (cells rows, the open-row
+//     register, EUR slots, row wear) is disjoint across banks, and shared
+//     counters are updated atomically. The sharded engine relies on this by
+//     assigning each bank to exactly one shard lock.
+//   - Fault-injection and maintenance methods (Fail, Repair, CloseAllRows,
+//     InjectRetentionErrors, WearOutBit, FlipDataBit, FlipCodeBit) require
+//     full quiescence: no concurrent access of any kind.
+//
+// Decoding (the expensive part of a scrub) happens outside the chip and
+// needs no lock.
 type Chip struct {
-	mu      sync.Mutex // guards cells/eur/stats/rng for the *VLEW methods
+	mu      sync.Mutex // guards the *VLEW methods and the failed-read rng
 	geom    Geometry
 	enc     *bch.Code // VLEW encoder; nil disables in-chip encoding
 	cells   []byte    // banks x rows x RowTotalBytes
 	rng     *rand.Rand
 	failed  bool
-	openRow []int             // per bank; -1 when closed
-	eur     map[eurKey][]byte // accumulated code updates for open rows
+	openRow []int // per bank; -1 when closed
+	// EUR slots indexed bank*VLEWsPerRow+v. A slot's register is allocated
+	// lazily and kept zeroed whenever its eurSet flag is false, so draining
+	// is flag-test + XOR with no map churn and no cross-bank sharing.
+	eur     [][]byte
+	eurSet  []bool
 	rowWear []int64           // writes per row, for wear accounting
 	stuck   map[int]stuckCell // worn-out cells: writes cannot change them
 	stats   Stats
@@ -105,10 +122,6 @@ type Chip struct {
 // in mask always read back as the corresponding bits of value.
 type stuckCell struct {
 	mask, value byte
-}
-
-type eurKey struct {
-	bank, vlew int
 }
 
 // NewChip builds a chip with the given geometry. enc may be nil for chips
@@ -134,7 +147,8 @@ func NewChip(geom Geometry, enc *bch.Code, seed int64) (*Chip, error) {
 		cells:   make([]byte, int64(geom.Banks)*int64(geom.RowsPerBank)*int64(geom.RowTotalBytes())),
 		rng:     rand.New(rand.NewSource(seed)),
 		openRow: make([]int, geom.Banks),
-		eur:     make(map[eurKey][]byte),
+		eur:     make([][]byte, geom.EURRegisters()),
+		eurSet:  make([]bool, geom.EURRegisters()),
 		rowWear: make([]int64, geom.Banks*geom.RowsPerBank),
 		stuck:   make(map[int]stuckCell),
 	}
@@ -147,8 +161,21 @@ func NewChip(geom Geometry, enc *bch.Code, seed int64) (*Chip, error) {
 // Geometry returns the chip's geometry.
 func (c *Chip) Geometry() Geometry { return c.geom }
 
-// Stats returns a snapshot of the chip's counters.
-func (c *Chip) Stats() Stats { return c.stats }
+// Stats returns a snapshot of the chip's counters. Counters are maintained
+// atomically, so a snapshot taken during concurrent demand traffic is a
+// consistent set of per-field loads (not a point-in-time total across
+// fields, which only quiescence can give).
+func (c *Chip) Stats() Stats {
+	return Stats{
+		DataWrites:        atomic.LoadInt64(&c.stats.DataWrites),
+		RawWrites:         atomic.LoadInt64(&c.stats.RawWrites),
+		VLEWCodeWrites:    atomic.LoadInt64(&c.stats.VLEWCodeWrites),
+		RowActivations:    atomic.LoadInt64(&c.stats.RowActivations),
+		RowCloses:         atomic.LoadInt64(&c.stats.RowCloses),
+		BitErrorsInjected: atomic.LoadInt64(&c.stats.BitErrorsInjected),
+		BitsWritten:       atomic.LoadInt64(&c.stats.BitsWritten),
+	}
+}
 
 // Healthy reports whether the chip has not suffered a chip-level failure.
 func (c *Chip) Healthy() bool { return !c.failed }
@@ -163,7 +190,19 @@ func (c *Chip) Repair() {
 	for i := range c.cells {
 		c.cells[i] = 0
 	}
-	c.eur = make(map[eurKey][]byte)
+	for i, reg := range c.eur {
+		zeroBytes(reg)
+		c.eurSet[i] = false
+	}
+}
+
+// eurIndex addresses a bank's EUR slot for one open-row VLEW.
+func (c *Chip) eurIndex(bank, v int) int { return bank*c.geom.VLEWsPerRow() + v }
+
+func zeroBytes(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
 }
 
 func (c *Chip) rowBase(bank, row int) int {
@@ -181,17 +220,27 @@ func (c *Chip) checkAddr(bank, row int) {
 // ReadData returns n data bytes starting at byte offset off within the
 // row. A failed chip returns garbage.
 func (c *Chip) ReadData(bank, row, off, n int) []byte {
-	base := c.rowBase(bank, row)
-	if off < 0 || off+n > c.geom.RowDataBytes {
-		panic(fmt.Sprintf("nvram: data read [%d,%d) outside row data %d", off, off+n, c.geom.RowDataBytes))
-	}
 	out := make([]byte, n)
-	if c.failed {
-		c.rng.Read(out)
-		return out
-	}
-	copy(out, c.cells[base+off:base+off+n])
+	c.ReadDataInto(out, bank, row, off)
 	return out
+}
+
+// ReadDataInto fills dst with len(dst) data bytes starting at byte offset
+// off within the row — ReadData without the allocation, for the demand
+// read path. A failed chip fills dst with garbage (the rng draw is taken
+// under the chip mutex so concurrent shards keep the stream well-defined).
+func (c *Chip) ReadDataInto(dst []byte, bank, row, off int) {
+	base := c.rowBase(bank, row)
+	if off < 0 || off+len(dst) > c.geom.RowDataBytes {
+		panic(fmt.Sprintf("nvram: data read [%d,%d) outside row data %d", off, off+len(dst), c.geom.RowDataBytes))
+	}
+	if c.failed {
+		c.mu.Lock()
+		c.rng.Read(dst)
+		c.mu.Unlock()
+		return
+	}
+	copy(dst, c.cells[base+off:base+off+len(dst)])
 }
 
 // WriteData overwrites data bytes conventionally (raw values on the bus).
@@ -203,7 +252,7 @@ func (c *Chip) WriteData(bank, row, off int, data []byte) {
 	if off < 0 || off+len(data) > c.geom.RowDataBytes {
 		panic(fmt.Sprintf("nvram: data write [%d,%d) outside row data %d", off, off+len(data), c.geom.RowDataBytes))
 	}
-	c.stats.RawWrites++
+	atomic.AddInt64(&c.stats.RawWrites, 1)
 	if c.failed {
 		return
 	}
@@ -218,7 +267,7 @@ func (c *Chip) WriteData(bank, row, off int, data []byte) {
 	}
 	copy(old, data)
 	c.applyStuck(base+off, len(data))
-	c.stats.BitsWritten += int64(8 * len(data))
+	atomic.AddInt64(&c.stats.BitsWritten, int64(8*len(data)))
 	c.rowWear[bank*c.geom.RowsPerBank+row]++
 }
 
@@ -233,13 +282,13 @@ func (c *Chip) WriteXOR(bank, row, off int, delta []byte) {
 		panic(fmt.Sprintf("nvram: XOR write [%d,%d) outside row data %d", off, off+len(delta), c.geom.RowDataBytes))
 	}
 	c.OpenRow(bank, row)
-	c.stats.DataWrites++
+	atomic.AddInt64(&c.stats.DataWrites, 1)
 	if c.failed {
 		return
 	}
 	gf.XORBytes(c.cells[base+off:base+off+len(delta)], delta)
 	c.applyStuck(base+off, len(delta))
-	c.stats.BitsWritten += int64(8 * len(delta))
+	atomic.AddInt64(&c.stats.BitsWritten, int64(8*len(delta)))
 	c.rowWear[bank*c.geom.RowsPerBank+row]++
 	if c.enc != nil {
 		c.applyCodeDelta(bank, row, off, delta, true)
@@ -259,16 +308,17 @@ func (c *Chip) applyCodeDelta(bank, row, off int, delta []byte, coalesce bool) {
 		}
 		update := c.enc.EncodeDelta(delta[:n], inOff*8)
 		if coalesce {
-			k := eurKey{bank, v}
-			reg, ok := c.eur[k]
-			if !ok {
+			idx := c.eurIndex(bank, v)
+			reg := c.eur[idx]
+			if reg == nil {
 				reg = make([]byte, c.enc.ParityBytes())
-				c.eur[k] = reg
+				c.eur[idx] = reg
 			}
 			c.enc.XORParity(reg, update)
+			c.eurSet[idx] = true
 		} else {
 			gf.XORBytes(c.vlewCode(bank, row, v), update)
-			c.stats.VLEWCodeWrites++
+			atomic.AddInt64(&c.stats.VLEWCodeWrites, 1)
 		}
 		delta = delta[n:]
 		off += n
@@ -293,7 +343,7 @@ func (c *Chip) OpenRow(bank, row int) {
 		c.CloseRow(bank)
 	}
 	c.openRow[bank] = row
-	c.stats.RowActivations++
+	atomic.AddInt64(&c.stats.RowActivations, 1)
 }
 
 // CloseRow closes the bank's open row, draining every nonempty EUR
@@ -309,19 +359,19 @@ func (c *Chip) CloseRow(bank int) {
 		return
 	}
 	for v := 0; v < c.geom.VLEWsPerRow(); v++ {
-		k := eurKey{bank, v}
-		reg, ok := c.eur[k]
-		if !ok {
+		idx := c.eurIndex(bank, v)
+		if !c.eurSet[idx] {
 			continue
 		}
 		if !c.failed {
-			gf.XORBytes(c.vlewCode(bank, row, v), reg)
+			gf.XORBytes(c.vlewCode(bank, row, v), c.eur[idx])
 		}
-		c.stats.VLEWCodeWrites++
-		delete(c.eur, k)
+		atomic.AddInt64(&c.stats.VLEWCodeWrites, 1)
+		zeroBytes(c.eur[idx])
+		c.eurSet[idx] = false
 	}
 	c.openRow[bank] = -1
-	c.stats.RowCloses++
+	atomic.AddInt64(&c.stats.RowCloses, 1)
 }
 
 // CloseAllRows closes every bank's open row; used before scrubbing so that
@@ -351,11 +401,12 @@ func (c *Chip) ReadVLEW(bank, row, v int) (data, code []byte) {
 		return data, code
 	}
 	if c.openRow[bank] == row {
-		k := eurKey{bank, v}
-		if reg, ok := c.eur[k]; ok {
-			gf.XORBytes(c.vlewCode(bank, row, v), reg)
-			c.stats.VLEWCodeWrites++
-			delete(c.eur, k)
+		idx := c.eurIndex(bank, v)
+		if c.eurSet[idx] {
+			gf.XORBytes(c.vlewCode(bank, row, v), c.eur[idx])
+			atomic.AddInt64(&c.stats.VLEWCodeWrites, 1)
+			zeroBytes(c.eur[idx])
+			c.eurSet[idx] = false
 		}
 	}
 	copy(data, c.cells[base+v*c.geom.VLEWDataBytes:])
@@ -373,15 +424,17 @@ func (c *Chip) WriteVLEW(bank, row, v int, data, code []byte) {
 	if len(data) != c.geom.VLEWDataBytes || len(code) != c.geom.VLEWCodeBytes {
 		panic("nvram: WriteVLEW size mismatch")
 	}
-	c.stats.RawWrites++
+	atomic.AddInt64(&c.stats.RawWrites, 1)
 	if c.failed {
 		return
 	}
-	delete(c.eur, eurKey{bank, v})
+	idx := c.eurIndex(bank, v)
+	zeroBytes(c.eur[idx])
+	c.eurSet[idx] = false
 	copy(c.cells[base+v*c.geom.VLEWDataBytes:], data)
 	c.applyStuck(base+v*c.geom.VLEWDataBytes, len(data))
 	copy(c.vlewCode(bank, row, v), code)
-	c.stats.BitsWritten += int64(8 * (len(data) + len(code)))
+	atomic.AddInt64(&c.stats.BitsWritten, int64(8*(len(data)+len(code))))
 	c.rowWear[bank*c.geom.RowsPerBank+row]++
 }
 
@@ -400,7 +453,7 @@ func (c *Chip) InjectRetentionErrors(rber float64) int {
 		p := c.rng.Int63n(totalBits)
 		c.cells[p/8] ^= 1 << uint(p%8)
 	}
-	c.stats.BitErrorsInjected += flips
+	atomic.AddInt64(&c.stats.BitErrorsInjected, flips)
 	return int(flips)
 }
 
@@ -442,13 +495,13 @@ func (c *Chip) WriteDataRaw(bank, row, off int, data []byte) {
 	if off < 0 || off+len(data) > c.geom.RowDataBytes {
 		panic(fmt.Sprintf("nvram: raw write [%d,%d) outside row data %d", off, off+len(data), c.geom.RowDataBytes))
 	}
-	c.stats.RawWrites++
+	atomic.AddInt64(&c.stats.RawWrites, 1)
 	if c.failed {
 		return
 	}
 	copy(c.cells[base+off:], data)
 	c.applyStuck(base+off, len(data))
-	c.stats.BitsWritten += int64(8 * len(data))
+	atomic.AddInt64(&c.stats.BitsWritten, int64(8*len(data)))
 	c.rowWear[bank*c.geom.RowsPerBank+row]++
 }
 
@@ -465,7 +518,7 @@ func (c *Chip) XORCode(bank, row, v int, delta []byte) {
 		return
 	}
 	gf.XORBytes(c.vlewCode(bank, row, v), delta)
-	c.stats.BitsWritten += int64(8 * len(delta))
+	atomic.AddInt64(&c.stats.BitsWritten, int64(8*len(delta)))
 }
 
 // ReadCode returns a copy of a VLEW code slot.
@@ -475,7 +528,9 @@ func (c *Chip) ReadCode(bank, row, v int) []byte {
 	}
 	out := make([]byte, c.geom.VLEWCodeBytes)
 	if c.failed {
+		c.mu.Lock()
 		c.rng.Read(out)
+		c.mu.Unlock()
 		return out
 	}
 	copy(out, c.vlewCode(bank, row, v))
@@ -495,7 +550,7 @@ func (c *Chip) FlipDataBit(bank, row, byteOff int, bit uint) {
 		return
 	}
 	c.cells[base+byteOff] ^= 1 << (bit % 8)
-	c.stats.BitErrorsInjected++
+	atomic.AddInt64(&c.stats.BitErrorsInjected, 1)
 }
 
 // FlipCodeBit flips one stored bit of a VLEW code slot directly in the
@@ -514,7 +569,7 @@ func (c *Chip) FlipCodeBit(bank, row, v, byteOff int, bit uint) {
 		return
 	}
 	c.vlewCode(bank, row, v)[byteOff] ^= 1 << (bit % 8)
-	c.stats.BitErrorsInjected++
+	atomic.AddInt64(&c.stats.BitErrorsInjected, 1)
 }
 
 // RowWear returns the write count of one row.

@@ -1,0 +1,60 @@
+package rank
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestReadBlockRawIntoMatchesReadBlockRaw pins the Into variant against the
+// allocating form across the whole rank, including after writes.
+func TestReadBlockRawIntoMatchesReadBlockRaw(t *testing.T) {
+	r := testRank(t)
+	data := make([]byte, r.Config().BlockBytes())
+	check := make([]byte, r.Config().ChipAccessBytes)
+	for b := int64(0); b < r.Blocks(); b++ {
+		wd := make([]byte, r.Config().BlockBytes())
+		wc := make([]byte, r.Config().ChipAccessBytes)
+		for i := range wd {
+			wd[i] = byte(b) ^ byte(i*7)
+		}
+		for i := range wc {
+			wc[i] = byte(b) + byte(i)
+		}
+		r.WriteBlockRaw(b, wd, wc)
+	}
+	for b := int64(0); b < r.Blocks(); b++ {
+		wantData, wantCheck := r.ReadBlockRaw(b)
+		r.ReadBlockRawInto(b, data, check)
+		if !bytes.Equal(data, wantData) || !bytes.Equal(check, wantCheck) {
+			t.Fatalf("block %d: Into mismatch", b)
+		}
+	}
+}
+
+// TestReadBlockRawIntoAllocFree pins the demand read primitive at zero
+// allocations per call — the foundation of the engine's zero-alloc read
+// path.
+func TestReadBlockRawIntoAllocFree(t *testing.T) {
+	r := testRank(t)
+	data := make([]byte, r.Config().BlockBytes())
+	check := make([]byte, r.Config().ChipAccessBytes)
+	blocks := r.Blocks()
+	var b int64
+	allocs := testing.AllocsPerRun(200, func() {
+		r.ReadBlockRawInto(b, data, check)
+		b = (b + 1) % blocks
+	})
+	if allocs != 0 {
+		t.Fatalf("ReadBlockRawInto allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestReadBlockRawIntoSizeMismatchPanics(t *testing.T) {
+	r := testRank(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short data buffer should panic")
+		}
+	}()
+	r.ReadBlockRawInto(0, make([]byte, 1), make([]byte, r.Config().ChipAccessBytes))
+}

@@ -84,10 +84,15 @@ func (l BlockLoc) VLEWIndex(vlewDataBytes int) int { return l.Col / vlewDataByte
 //
 // Concurrency contract: the accessors Config, NumChips, ParityChipIndex,
 // Chip, Blocks, Locate and BlocksInVLEW are read-only after New and safe
-// for concurrent use. Of the chip operations, only nvram.Chip.ReadVLEW and
-// WriteVLEW may run concurrently (the parallel boot scrub relies on this);
-// every block-level read/write and fault-injection method requires external
-// serialisation, matching a memory controller that serialises rank access.
+// for concurrent use. nvram.Chip.ReadVLEW and WriteVLEW may run
+// concurrently from anywhere (the parallel boot scrub relies on this).
+// Block-level reads and writes may run concurrently so long as no two
+// goroutines touch the same *bank* at the same time — Locate maps each
+// block to exactly one bank across all chips, and every chip's per-bank
+// state is disjoint (see the nvram.Chip contract). The sharded engine
+// partitions banks across shard locks to exploit this; a plain controller
+// that serialises all rank access trivially satisfies it. Fault-injection
+// and maintenance methods still require full quiescence.
 type Rank struct {
 	cfg    Config
 	chips  []*nvram.Chip // data chips; index 0..DataChips-1
@@ -161,14 +166,25 @@ func (r *Rank) Locate(block int64) BlockLoc {
 // ReadBlockRaw gathers a block's 64 data bytes and 8 check bytes from the
 // chips with no error correction. Failed chips contribute garbage.
 func (r *Rank) ReadBlockRaw(block int64) (data, check []byte) {
-	loc := r.Locate(block)
-	n := r.cfg.ChipAccessBytes
-	data = make([]byte, 0, r.cfg.BlockBytes())
-	for _, c := range r.chips {
-		data = append(data, c.ReadData(loc.Bank, loc.Row, loc.Col, n)...)
-	}
-	check = r.parity.ReadData(loc.Bank, loc.Row, loc.Col, n)
+	data = make([]byte, r.cfg.BlockBytes())
+	check = make([]byte, r.cfg.ChipAccessBytes)
+	r.ReadBlockRawInto(block, data, check)
 	return data, check
+}
+
+// ReadBlockRawInto is ReadBlockRaw into caller-owned buffers — the
+// allocation-free demand read primitive. data must hold BlockBytes() and
+// check ChipAccessBytes.
+func (r *Rank) ReadBlockRawInto(block int64, data, check []byte) {
+	n := r.cfg.ChipAccessBytes
+	if len(data) != r.cfg.BlockBytes() || len(check) != n {
+		panic("rank: ReadBlockRawInto size mismatch")
+	}
+	loc := r.Locate(block)
+	for i, c := range r.chips {
+		c.ReadDataInto(data[i*n:(i+1)*n], loc.Bank, loc.Row, loc.Col)
+	}
+	r.parity.ReadDataInto(check, loc.Bank, loc.Row, loc.Col)
 }
 
 // WriteBlockRaw writes a block and its check bytes conventionally (raw

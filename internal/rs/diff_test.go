@@ -67,6 +67,71 @@ func TestEncodeDeltaMatchesPolyDiv(t *testing.T) {
 	}
 }
 
+// TestRemainderSlicedMatchesByteLoop pins the slicing-by-8 remainder
+// evaluation against the serial byte-at-a-time LFSR it replaces, across
+// lengths that hit the sliced path (multiples of 8) and patterns that
+// exercise the all-zero-chunk short circuit.
+func TestRemainderSlicedMatchesByteLoop(t *testing.T) {
+	code := Must(64, 8)
+	e := code.enc
+	if e == nil || !e.sliced {
+		t.Fatal("RS(72,64) should build sliced encoder tables")
+	}
+	byteLoop := func(data []byte) uint64 {
+		var state uint64
+		for i := len(data) - 1; i >= 0; i-- {
+			state = e.step(state, data[i])
+		}
+		return state
+	}
+	rng := rand.New(rand.NewSource(97))
+	for _, n := range []int{8, 16, 24, 64, 128} {
+		data := make([]byte, n)
+		for trial := 0; trial < 200; trial++ {
+			rng.Read(data)
+			switch trial % 4 {
+			case 1: // zero tail: sliced must agree with the leading-zero skip
+				for i := n / 2; i < n; i++ {
+					data[i] = 0
+				}
+			case 2: // zero head: interior all-zero chunks
+				for i := 0; i < n/2; i++ {
+					data[i] = 0
+				}
+			case 3: // single nonzero byte
+				for i := range data {
+					data[i] = 0
+				}
+				data[rng.Intn(n)] = byte(1 + rng.Intn(255))
+			}
+			if got, want := e.remainderSliced(data), byteLoop(data); got != want {
+				t.Fatalf("n=%d trial %d: sliced remainder %#x, byte loop %#x\ndata %x",
+					n, trial, got, want, data)
+			}
+		}
+	}
+	// All-zero input must yield a zero register on both paths.
+	if got := e.remainderSliced(make([]byte, 64)); got != 0 {
+		t.Fatalf("sliced remainder of zero data = %#x, want 0", got)
+	}
+}
+
+func TestEncodeIntoMatchesEncode(t *testing.T) {
+	for _, p := range diffCodes {
+		code := Must(p.k, p.r)
+		rng := rand.New(rand.NewSource(int64(p.k)*29 + int64(p.r)))
+		data := make([]byte, code.K())
+		check := make([]byte, code.R())
+		for trial := 0; trial < 50; trial++ {
+			rng.Read(data)
+			code.EncodeInto(check, data)
+			if want := code.Encode(data); !bytes.Equal(check, want) {
+				t.Fatalf("%v trial %d: EncodeInto %x, Encode %x", code, trial, check, want)
+			}
+		}
+	}
+}
+
 func TestSyndromesMatchHorner(t *testing.T) {
 	for _, p := range diffCodes {
 		code := Must(p.k, p.r)

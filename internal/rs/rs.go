@@ -132,6 +132,24 @@ func (c *Code) Encode(data []byte) []byte {
 	return check
 }
 
+// EncodeInto computes the r check bytes for the k data bytes into the
+// caller-owned check buffer, allocation-free on the table-driven path. It
+// is Encode for hot paths (the controller's write path reuses one buffer).
+func (c *Code) EncodeInto(check, data []byte) {
+	if len(data) != c.k || len(check) != c.r {
+		panic(fmt.Sprintf("rs: EncodeInto: got %d data and %d check bytes, want %d and %d",
+			len(data), len(check), c.k, c.r))
+	}
+	if c.enc == nil {
+		copy(check, c.EncodePolyDiv(data))
+		return
+	}
+	state := c.enc.remainder(data)
+	for i := range check {
+		check[i] = byte(state >> (8 * uint(i)))
+	}
+}
+
 // EncodePolyDiv is the reference implementation of Encode via generic
 // polynomial division: check(x) = (d(x) * x^r) mod g(x). It is kept as the
 // differential-test oracle for the table-driven path and as the fallback

@@ -1,6 +1,10 @@
 package rs
 
-import "chipkillpm/internal/gf"
+import (
+	"encoding/binary"
+
+	"chipkillpm/internal/gf"
+)
 
 // This file implements the table-driven fast paths for the RS codec. The
 // reference implementations stay in rs.go (EncodePolyDiv, SyndromesHorner)
@@ -17,9 +21,15 @@ import "chipkillpm/internal/gf"
 // encTables drive the byte-at-a-time LFSR for Encode/EncodeDelta and the
 // decoder's remainder computation. Only built when r <= 8.
 type encTables struct {
-	topSh uint        // shift extracting the top check symbol
-	mask  uint64      // low 8r bits
-	fb    [256]uint64 // fb[v] packs v*g_0 .. v*g_{r-1} into bytes 0..r-1
+	topSh  uint        // shift extracting the top check symbol
+	mask   uint64      // low 8r bits
+	fb     [256]uint64 // fb[v] packs v*g_0 .. v*g_{r-1} into bytes 0..r-1
+	sliced bool        // slice tables valid (r == 8 only)
+	// slice[k][v] = L^8(v << 8k), where L is one zero-input step. Because a
+	// step is GF(2)-linear in the packed state, eight steps over state s
+	// with inputs d0..d7 equal L^8(s ^ u) with dj placed at byte 7-j of u;
+	// decomposing L^8 per input byte gives the slicing-by-8 evaluation.
+	slice [8][256]uint64
 }
 
 func (c *Code) buildEncTables() *encTables {
@@ -39,6 +49,18 @@ func (c *Code) buildEncTables() *encTables {
 		}
 		e.fb[v] = row
 	}
+	if c.r == 8 {
+		e.sliced = true
+		for k := 0; k < 8; k++ {
+			for v := 0; v < 256; v++ {
+				s := uint64(v) << (8 * uint(k))
+				for step := 0; step < 8; step++ {
+					s = e.step(s, 0)
+				}
+				e.slice[k][v] = s
+			}
+		}
+	}
 	return e
 }
 
@@ -53,6 +75,9 @@ func (e *encTables) step(state uint64, d byte) uint64 {
 // j is the coefficient of x^j. Leading zero bytes are skipped: they cannot
 // move a zero register.
 func (e *encTables) remainder(data []byte) uint64 {
+	if e.sliced && len(data) >= 8 && len(data)%8 == 0 {
+		return e.remainderSliced(data)
+	}
 	i := len(data) - 1
 	for i >= 0 && data[i] == 0 {
 		i--
@@ -60,6 +85,28 @@ func (e *encTables) remainder(data []byte) uint64 {
 	var state uint64
 	for ; i >= 0; i-- {
 		state = e.step(state, data[i])
+	}
+	return state
+}
+
+// remainderSliced consumes eight symbols per iteration (highest degree
+// first, so chunks walk backward through data). Folding the state into the
+// chunk first means each iteration is one 8-byte load, one XOR, and eight
+// independent table lookups — no serial per-byte feedback chain. The
+// all-zero chunk test keeps sparse deltas (EncodeDelta's common case) as
+// cheap as the leading-zero skip in the byte loop.
+func (e *encTables) remainderSliced(data []byte) uint64 {
+	var state uint64
+	for o := len(data) - 8; o >= 0; o -= 8 {
+		t := state ^ binary.LittleEndian.Uint64(data[o:])
+		if t == 0 {
+			state = 0
+			continue
+		}
+		state = e.slice[7][byte(t>>56)] ^ e.slice[6][byte(t>>48)] ^
+			e.slice[5][byte(t>>40)] ^ e.slice[4][byte(t>>32)] ^
+			e.slice[3][byte(t>>24)] ^ e.slice[2][byte(t>>16)] ^
+			e.slice[1][byte(t>>8)] ^ e.slice[0][byte(t)]
 	}
 	return state
 }

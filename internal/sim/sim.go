@@ -13,6 +13,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"chipkillpm/internal/cache"
 	"chipkillpm/internal/config"
@@ -219,7 +220,9 @@ type Comparison struct {
 
 // Compare runs the paper's three-step evaluation for one workload: the
 // bit-error-only baseline, a C-measurement pass, and the proposal with
-// the measured C folded into the write latency.
+// the measured C folded into the write latency. The baseline and the
+// C-measurement pass share no state and have no data dependency, so they
+// run concurrently; the proposal pass needs the measured C and runs after.
 func Compare(p trace.Profile, opt Options) (Comparison, error) {
 	var cmp Comparison
 	cmp.Workload = p.Name
@@ -228,19 +231,30 @@ func Compare(p trace.Profile, opt Options) (Comparison, error) {
 	baseOpt := opt
 	baseOpt.Mode = memctrl.BaselineMode()
 	baseOpt.OMV = cache.OMVOff
-	base, err := Run(p, baseOpt)
-	if err != nil {
-		return cmp, err
-	}
-	cmp.Baseline = base
 
 	cOpt := opt
 	cOpt.Mode = memctrl.ProposalMode(0) // measure C without inflation
 	cOpt.OMV = cache.OMVPreserve
-	cPass, err := Run(p, cOpt)
-	if err != nil {
-		return cmp, err
+
+	var (
+		base, cPass       Result
+		baseErr, cPassErr error
+		wg                sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		base, baseErr = Run(p, baseOpt)
+	}()
+	cPass, cPassErr = Run(p, cOpt)
+	wg.Wait()
+	if baseErr != nil {
+		return cmp, baseErr
 	}
+	if cPassErr != nil {
+		return cmp, cPassErr
+	}
+	cmp.Baseline = base
 	cmp.CPass = cPass
 
 	propOpt := opt

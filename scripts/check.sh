@@ -26,9 +26,10 @@ echo "== go test"
 go test ./... -count=1
 
 if ! $quick; then
-	echo "== go test -race (core, rank, memctrl, sim, inject)"
+	echo "== go test -race (core, rank, memctrl, sim, inject, engine)"
 	go test -race -count=1 ./internal/core/... ./internal/rank/... \
-		./internal/memctrl/... ./internal/sim/... ./internal/inject/...
+		./internal/memctrl/... ./internal/sim/... ./internal/inject/... \
+		./internal/engine/...
 
 	echo "== fuzz smoke (10s per decoder)"
 	go test ./internal/bch/ -fuzz=FuzzDecode -fuzztime=10s
@@ -39,6 +40,15 @@ if ! $quick; then
 
 	echo "== kernel benchmarks -> BENCH_kernels.json"
 	go run ./cmd/benchkernels -check
+
+	# Short-benchtime smoke of the end-to-end throughput harness: checks
+	# the harness runs and emits a well-formed report without gating on
+	# timing (refresh the committed numbers with `make benchruntime`).
+	echo "== runtime throughput harness (short)"
+	rt_tmp=$(mktemp)
+	go run ./cmd/benchruntime -benchtime 25ms -out "$rt_tmp"
+	go run ./cmd/benchruntime -validate "$rt_tmp"
+	rm -f "$rt_tmp"
 fi
 
 echo "OK"
