@@ -14,7 +14,7 @@ test:
 race:
 	go test -race -count=1 ./internal/core/... ./internal/rank/... \
 		./internal/memctrl/... ./internal/sim/... ./internal/inject/... \
-		./internal/engine/...
+		./internal/engine/... ./internal/guard/...
 
 # Kernel microbenchmarks (per-package, human-readable).
 bench:
@@ -49,6 +49,7 @@ FUZZTIME ?= 10s
 fuzz:
 	go test ./internal/bch/ -fuzz=FuzzDecode -fuzztime=$(FUZZTIME)
 	go test ./internal/rs/ -fuzz=FuzzDecode -fuzztime=$(FUZZTIME)
+	go test ./internal/guard/ -fuzz=FuzzJournalDecode -fuzztime=$(FUZZTIME)
 
 check:
 	sh scripts/check.sh

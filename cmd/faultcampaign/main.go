@@ -76,6 +76,10 @@ func main() {
 		}
 		for _, f := range cr.Failures {
 			fmt.Printf("  op=%d block=%d kind=%s: %s\n", f.Op, f.Block, f.Kind, f.Detail)
+			fmt.Printf("    repro: %s\n", f.Repro)
+		}
+		if cr.FailuresTotal > len(cr.Failures) {
+			fmt.Printf("  ... %d further failures not shown\n", cr.FailuresTotal-len(cr.Failures))
 		}
 	}
 

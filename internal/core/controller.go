@@ -36,6 +36,16 @@ var ErrUncorrectable = errors.New("core: uncorrectable error")
 // ErrBlockDisabled reports access to a block retired for wear-out.
 var ErrBlockDisabled = errors.New("core: block is disabled")
 
+// ErrChipFailed reports an operation that cannot proceed because a chip
+// (or one chip too many) is failed: remapping around a second failure,
+// migrating with a dead parity chip, and similar chip-level dead ends.
+var ErrChipFailed = errors.New("core: chip failed")
+
+// ErrMigrationInProgress reports an operation that conflicts with an
+// active online degraded-mode migration (e.g. starting a second one or
+// entering stop-the-world degraded mode mid-migration).
+var ErrMigrationInProgress = errors.New("core: migration in progress")
+
 // OMVProvider supplies old memory values (OMVs) of dirty persistent-memory
 // blocks, normally the LLC with SAM/OMV tag bits (Sec V-D). A provider
 // returning (nil, false) forces the controller to fetch the OMV from
@@ -89,6 +99,10 @@ type Stats struct {
 	ScrubbedVLEWs      int64
 	ScrubCorrections   int64 // bit corrections applied during scrub
 	ScrubUncorrectable int64
+
+	// Online degraded-mode migration (internal/guard): whole bands (one
+	// old-layout VLEW span) rewritten into the striped layout.
+	BandsMigrated int64
 }
 
 // Add accumulates o into s field by field; scrubs use it to publish their
@@ -111,6 +125,7 @@ func (s *Stats) Add(o Stats) {
 	s.ScrubbedVLEWs += o.ScrubbedVLEWs
 	s.ScrubCorrections += o.ScrubCorrections
 	s.ScrubUncorrectable += o.ScrubUncorrectable
+	s.BandsMigrated += o.BandsMigrated
 }
 
 // Config tunes the controller.
@@ -144,14 +159,23 @@ type Controller struct {
 	disabled map[int64]bool
 
 	// statsMu serialises Stats/ResetStats against the scrubs' batched
-	// counter publication. Demand paths mutate stats without it.
+	// counter publication. Demand paths mutate stats without it. The
+	// per-chip telemetry shares the lock and the contract.
 	statsMu sync.Mutex
 	stats   Stats
+	tel     Telemetry
 
 	// Degraded (remapped) mode, Sec V-E: the failed data chip's contents
 	// live in the parity chip and VLEWs are striped across the rank.
 	degraded   bool
 	failedChip int
+
+	// mig, when non-nil, is an online migration to degraded mode in
+	// flight: blocks below the shared cursor are already in the striped
+	// layout, blocks at or above it still use the original one. The
+	// pointer is shared by every controller over the rank (all engine
+	// shards) so the cursor is a rank-wide property.
+	mig *MigrationState
 
 	// Persistent working buffers for the demand paths. The single-owner
 	// contract means at most one demand operation is in flight, so one set
@@ -189,6 +213,7 @@ func NewController(r *rank.Rank, cfg Config, omv OMVProvider) (*Controller, erro
 		rsCode:       code,
 		cfg:          cfg,
 		omv:          omv,
+		tel:          Telemetry{Chips: make([]ChipTelemetry, r.NumChips())},
 		disabled:     make(map[int64]bool),
 		readCheckBuf: make([]byte, checkBytes),
 		vlewCheckBuf: make([]byte, checkBytes),
@@ -239,9 +264,14 @@ func (c *Controller) DisableBlock(block int64) {
 	}
 	// Zero the block's contribution so VLEW code bits stay consistent:
 	// writing zeros via the normal XOR path updates data and code bits
-	// together.
+	// together. Blocks already in the striped layout instead take the
+	// degraded write path, which maintains the striped code word.
 	if data, err := c.readForInternalUse(block); err == nil {
-		c.writeDelta(block, data) // delta = current XOR zero = current
+		if c.blockStriped(block) {
+			c.writeDegraded(block, make([]byte, len(data)))
+		} else {
+			c.writeDelta(block, data) // delta = current XOR zero = current
+		}
 	}
 	c.disabled[block] = true
 }
@@ -273,7 +303,7 @@ func (c *Controller) ReadBlockInto(block int64, dst []byte) error {
 		return fmt.Errorf("block %d: %w", block, ErrBlockDisabled)
 	}
 	c.stats.Reads++
-	if c.degraded {
+	if c.blockStriped(block) {
 		data, err := c.readDegraded(block)
 		if err != nil {
 			return err
@@ -284,11 +314,24 @@ func (c *Controller) ReadBlockInto(block int64, dst []byte) error {
 	return c.readCorrectedInto(dst, block)
 }
 
+// blockStriped reports whether a block must be accessed through the
+// striped (degraded) layout: always once degraded mode is adopted, and
+// during an online migration for every block the cursor has passed. The
+// cursor is loaded after the caller has taken the block's bank lock (or
+// owns the controller outright), and bands only migrate under their own
+// bank's lock, so the answer cannot change while the operation runs.
+func (c *Controller) blockStriped(block int64) bool {
+	if c.degraded {
+		return true
+	}
+	return c.mig != nil && block < c.mig.Cursor()
+}
+
 // readForInternalUse reads and corrects a block without counting it as a
 // demand read. The returned slice aliases the controller's internal buffer
 // and is valid until the next internal read.
 func (c *Controller) readForInternalUse(block int64) ([]byte, error) {
-	if c.degraded {
+	if c.blockStriped(block) {
 		return c.readDegraded(block)
 	}
 	if err := c.readCorrectedInto(c.internalBuf, block); err != nil {
@@ -310,6 +353,9 @@ func (c *Controller) readCorrectedInto(dst []byte, block int64) error {
 	if err == nil {
 		c.stats.ReadsRSCorrected++
 		c.stats.BitsCorrectedRS += int64(len(corrections))
+		for _, corr := range corrections {
+			c.tel.Chips[c.chipOfSymbol(corr.Pos)].RSCorrections++
+		}
 		return nil
 	}
 	// Threshold exceeded or RS-uncorrectable: VLEW fallback (Sec V-C).
@@ -342,6 +388,7 @@ func (c *Controller) vlewCorrectBlockInto(dst []byte, block int64) error {
 		fixed, derr := code.Decode(vData, vCode[:code.ParityBytes()])
 		if derr != nil {
 			failedChips = append(failedChips, ci)
+			c.tel.Chips[ci].VLEWFailures++
 			continue
 		}
 		c.stats.BitsCorrectedVLEW += int64(fixed)
@@ -360,6 +407,7 @@ func (c *Controller) vlewCorrectBlockInto(dst []byte, block int64) error {
 			c.stats.BitsCorrectedRS += int64(len(corr))
 		} else {
 			c.stats.Uncorrectable++
+			c.tel.DUEs++
 			return fmt.Errorf("block %d: VLEW-corrected data fails RS: %w", block, ErrUncorrectable)
 		}
 	case 1:
@@ -372,6 +420,7 @@ func (c *Controller) vlewCorrectBlockInto(dst []byte, block int64) error {
 		}
 		if !checkOK {
 			c.stats.Uncorrectable++
+			c.tel.DUEs++
 			return fmt.Errorf("block %d: chip %d failed and parity unavailable: %w", block, ci, ErrUncorrectable)
 		}
 		// Erase the failed chip's bytes and reconstruct via RS. Erasure
@@ -383,10 +432,13 @@ func (c *Controller) vlewCorrectBlockInto(dst []byte, block int64) error {
 		}
 		if _, err := c.rsCode.Decode(dst, check, erasures); err != nil {
 			c.stats.Uncorrectable++
+			c.tel.DUEs++
 			return fmt.Errorf("block %d: erasure correction failed: %w", block, ErrUncorrectable)
 		}
+		c.tel.Chips[ci].ErasureRepairs++
 	default:
 		c.stats.Uncorrectable++
+		c.tel.DUEs++
 		return fmt.Errorf("block %d: %d chips uncorrectable: %w", block, len(failedChips), ErrUncorrectable)
 	}
 
@@ -409,7 +461,7 @@ func (c *Controller) WriteBlock(block int64, newData []byte) error {
 		return fmt.Errorf("block %d: %w", block, ErrBlockDisabled)
 	}
 	c.stats.Writes++
-	if c.degraded {
+	if c.blockStriped(block) {
 		return c.writeDegraded(block, newData)
 	}
 	old, hit := c.omv.OMV(block)
@@ -445,6 +497,12 @@ func (c *Controller) writeDelta(block int64, delta []byte) {
 func (c *Controller) WriteBlockInitial(block int64, data []byte) error {
 	if len(data) != c.rank.Config().BlockBytes() {
 		return fmt.Errorf("core: WriteBlockInitial: got %d bytes, want %d", len(data), c.rank.Config().BlockBytes())
+	}
+	if c.blockStriped(block) {
+		// A raw lockstep write would clobber the remapped parity-chip data
+		// and leave the striped code word stale; route through the
+		// degraded write path instead.
+		return c.writeDegraded(block, data)
 	}
 	c.rank.WriteBlockRaw(block, data, c.rsCode.Encode(data))
 	c.stats.BlockWrites++

@@ -24,9 +24,14 @@ import (
 // alongside losing per-block error detection (every degraded read
 // verifies through its striped VLEW).
 
-// stripedBlocksPerVLEW is how many 64B blocks one reconfigured VLEW
-// covers: 256B of data striped across the rank.
-const stripedBlocksPerVLEW = 4
+// StripedBlocksPerVLEW is how many 64B blocks one reconfigured VLEW
+// covers: 256B of data striped across the rank. Exported so layered
+// callers (engine patrol routing, the guard's degraded patrol) can map
+// striped-group indices to blocks.
+const StripedBlocksPerVLEW = 4
+
+// stripedBlocksPerVLEW is the package-internal alias.
+const stripedBlocksPerVLEW = StripedBlocksPerVLEW
 
 // Degraded reports whether the controller is in degraded (remapped) mode
 // and, if so, which data chip was retired.
@@ -84,7 +89,10 @@ func (c *Controller) readRawDegraded(block int64) []byte {
 // in a degraded rank is beyond the scheme, as in the paper.
 func (c *Controller) EnterDegradedMode(failedChip int) error {
 	if c.degraded {
-		return fmt.Errorf("core: already degraded (chip %d)", c.failedChip)
+		return fmt.Errorf("core: already degraded (chip %d): %w", c.failedChip, ErrChipFailed)
+	}
+	if c.mig != nil {
+		return fmt.Errorf("core: cannot enter degraded mode stop-the-world: %w", ErrMigrationInProgress)
 	}
 	if failedChip < 0 || failedChip >= c.rank.Config().DataChips {
 		return fmt.Errorf("core: chip %d is not a data chip", failedChip)
@@ -97,7 +105,7 @@ func (c *Controller) EnterDegradedMode(failedChip int) error {
 
 	parity := r.Chip(r.ParityChipIndex())
 	if !parity.Healthy() {
-		return fmt.Errorf("core: parity chip unavailable for remapping")
+		return fmt.Errorf("core: parity chip unavailable for remapping: %w", ErrChipFailed)
 	}
 
 	// Step 1: place the failed chip's data into the parity chip. If the
@@ -113,7 +121,7 @@ func (c *Controller) EnterDegradedMode(failedChip int) error {
 				data[i] = 0
 			}
 			if _, err := c.rsCode.Decode(data, check, erasures); err != nil {
-				return fmt.Errorf("core: reconstructing block %d for remap: %w", b, err)
+				return fmt.Errorf("core: reconstructing block %d for remap (%v): %w", b, err, ErrUncorrectable)
 			}
 		}
 		loc := r.Locate(b)
@@ -147,7 +155,10 @@ func (c *Controller) EnterDegradedMode(failedChip int) error {
 // rank-wide property, not per-controller state.
 func (c *Controller) AdoptDegradedMode(failedChip int) error {
 	if c.degraded {
-		return fmt.Errorf("core: already degraded (chip %d)", c.failedChip)
+		return fmt.Errorf("core: already degraded (chip %d): %w", c.failedChip, ErrChipFailed)
+	}
+	if c.mig != nil {
+		return fmt.Errorf("core: cannot adopt degraded mode: %w", ErrMigrationInProgress)
 	}
 	if failedChip < 0 || failedChip >= c.rank.Config().DataChips {
 		return fmt.Errorf("core: chip %d is not a data chip", failedChip)
@@ -174,6 +185,7 @@ func (c *Controller) readDegraded(block int64) ([]byte, error) {
 	fixed, err := code.Decode(data, vcode[:code.ParityBytes()])
 	if err != nil {
 		c.stats.Uncorrectable++
+		c.tel.DUEs++
 		return nil, fmt.Errorf("block %d (degraded): %w", block, ErrUncorrectable)
 	}
 	if fixed > 0 {
@@ -189,8 +201,17 @@ func (c *Controller) readDegraded(block int64) ([]byte, error) {
 	return data[off : off+rcfg.BlockBytes()], nil
 }
 
-// writeBackStriped stores corrected striped data and code.
+// writeBackStriped stores corrected striped data and code on the demand
+// path, counting the writes against the unlocked demand stats.
 func (c *Controller) writeBackStriped(first int64, data, vcode []byte, bank, row, chip, slot int) {
+	c.writeBackStripedRaw(first, data, vcode, bank, row, chip, slot)
+	c.stats.BlockWrites += stripedBlocksPerVLEW
+}
+
+// writeBackStripedRaw performs the physical striped write-back without
+// touching stats, so patrol scrub (which publishes batched counters under
+// the stats lock) can share it.
+func (c *Controller) writeBackStripedRaw(first int64, data, vcode []byte, bank, row, chip, slot int) {
 	rcfg := c.rank.Config()
 	n := rcfg.ChipAccessBytes
 	for i := int64(0); i < stripedBlocksPerVLEW; i++ {
@@ -210,7 +231,6 @@ func (c *Controller) writeBackStriped(first int64, data, vcode []byte, bank, row
 		old[i] ^= vcode[i]
 	}
 	holder.XORCode(bank, row, slot, old)
-	c.stats.BlockWrites += stripedBlocksPerVLEW
 }
 
 // writeDegraded services a write in degraded mode: the controller reads

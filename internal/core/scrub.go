@@ -210,18 +210,30 @@ func (r ScrubReport) String() string {
 // refresh policy without the bus-saturating full-memory sweeps the paper
 // warns about.
 //
-// The position encodes (chip, bank, row, vlew) linearly; callers treat it
-// as opaque and wrap at TotalPatrolUnits.
+// The position encodes (chip, bank, row, vlew) linearly in the original
+// layout — or a striped-group index in degraded mode — and callers treat
+// it as opaque, wrapping at TotalPatrolUnits. During an online migration
+// the patrol is a no-op (pos is returned unchanged): a mid-migration rank
+// holds both layouts at once and only the supervisor knows where the
+// boundary is, so the guard pauses patrol until migration completes.
 func (c *Controller) PatrolScrub(pos int64, count int) (next int64, corrected int64) {
+	if c.mig != nil {
+		return pos, 0
+	}
+	if c.degraded {
+		return c.patrolDegraded(pos, count)
+	}
 	r := c.rank
 	g := r.Config().Geometry
 	code := r.Config().VLEWCode
 	total := c.TotalPatrolUnits()
 	var d Stats // published under the stats lock after the walk
+	td := Telemetry{Chips: make([]ChipTelemetry, r.NumChips())}
 	for i := 0; i < count; i++ {
 		p := (pos + int64(i)) % total
 		vpr := int64(g.VLEWsPerRow())
-		chip := r.Chip(int(p / (int64(g.Banks) * int64(g.RowsPerBank) * vpr)))
+		ci := int(p / (int64(g.Banks) * int64(g.RowsPerBank) * vpr))
+		chip := r.Chip(ci)
 		rem := p % (int64(g.Banks) * int64(g.RowsPerBank) * vpr)
 		bank := int(rem / (int64(g.RowsPerBank) * vpr))
 		rem %= int64(g.RowsPerBank) * vpr
@@ -234,6 +246,7 @@ func (c *Controller) PatrolScrub(pos int64, count int) (next int64, corrected in
 		fixed, err := code.Decode(data, vcode[:code.ParityBytes()])
 		if err != nil {
 			d.ScrubUncorrectable++
+			td.Chips[ci].VLEWFailures++
 			continue
 		}
 		if fixed > 0 {
@@ -244,12 +257,60 @@ func (c *Controller) PatrolScrub(pos int64, count int) (next int64, corrected in
 	}
 	d.ScrubCorrections = corrected
 	c.addStats(d)
+	c.addTelemetry(td)
 	return (pos + int64(count)) % total, corrected
 }
 
-// TotalPatrolUnits returns the number of patrol positions (VLEWs across
-// all chips).
+// patrolDegraded is the degraded-mode patrol walk: each unit is one
+// striped VLEW group (the only error detection left once the per-block RS
+// bits are sacrificed), decoded and written back on correction.
+func (c *Controller) patrolDegraded(pos int64, count int) (next int64, corrected int64) {
+	code := c.rank.Config().VLEWCode
+	total := c.TotalPatrolUnits()
+	var d Stats
+	for i := 0; i < count; i++ {
+		first := ((pos + int64(i)) % total) * stripedBlocksPerVLEW
+		bank, row, chip, slot, _ := c.stripedLoc(first)
+		data := c.stripedData(first)
+		vcode := c.rank.Chip(chip).ReadCode(bank, row, slot)
+		fixed, err := code.Decode(data, vcode[:code.ParityBytes()])
+		if err != nil {
+			d.ScrubUncorrectable++
+			continue
+		}
+		if fixed > 0 {
+			c.writeBackStripedRaw(first, data, vcode, bank, row, chip, slot)
+			corrected += int64(fixed)
+			d.BlockWrites += stripedBlocksPerVLEW
+		}
+		d.ScrubbedVLEWs++
+	}
+	d.ScrubCorrections = corrected
+	c.addStats(d)
+	return (pos + int64(count)) % total, corrected
+}
+
+// TotalPatrolUnits returns the number of patrol positions: VLEWs across
+// all chips in the original layout, striped groups in degraded mode.
 func (c *Controller) TotalPatrolUnits() int64 {
+	if c.degraded {
+		return c.rank.Blocks() / stripedBlocksPerVLEW
+	}
 	g := c.rank.Config().Geometry
 	return int64(c.rank.NumChips()) * int64(g.Banks) * int64(g.RowsPerBank) * int64(g.VLEWsPerRow())
+}
+
+// ProbeVLEW decodes one VLEW of one chip in the original layout, without
+// write-back, and reports whether it decoded. This is the health
+// supervisor's transient-vs-permanent discriminator: a dead chip returns
+// fresh garbage on every read, so essentially every probe fails, while a
+// transient storm leaves isolated broken words that fail at most a few of
+// a spread of probes. The caller must hold the VLEW's bank lock (or own
+// the controller outright) — ReadVLEW drains the word's pending EUR
+// update first.
+func (c *Controller) ProbeVLEW(chip, bank, row, v int) bool {
+	code := c.rank.Config().VLEWCode
+	data, vcode := c.rank.Chip(chip).ReadVLEW(bank, row, v)
+	_, err := code.Decode(data, vcode[:code.ParityBytes()])
+	return err == nil
 }

@@ -1,0 +1,61 @@
+package guard
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRegenerateFuzzCorpus rewrites the checked-in seed corpus for
+// FuzzJournalDecode from the current journal encoder. Skipped unless
+// GUARD_REGEN_CORPUS=1, so the corpus stays stable across runs but can be
+// regenerated when the record format changes.
+func TestRegenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("GUARD_REGEN_CORPUS") != "1" {
+		t.Skip("set GUARD_REGEN_CORPUS=1 to rewrite the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzJournalDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	build := func(done bool, truncate int) []byte {
+		reg := NewRegion(2048)
+		j, _, err := Open(reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.SavePatrol(12)
+		j.SavePatrol(34)
+		if err := j.AppendStart(4); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.AppendBand(0, bytes.Repeat([]byte{0x11}, 64)); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.AppendBand(1, bytes.Repeat([]byte{0x22}, 64)); err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			if err := j.AppendDone(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b := reg.Bytes()
+		return b[:len(b)-truncate]
+	}
+	seeds := map[string][]byte{
+		"seed-empty":       {},
+		"seed-active":      build(false, 0),
+		"seed-done":        build(true, 0),
+		"seed-torn-tail":   build(false, 300),
+		"seed-patrol-only": build(false, 2048-logStart),
+	}
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,396 @@
+package guard
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chipkillpm/internal/core"
+	"chipkillpm/internal/engine"
+)
+
+// State is the supervisor's position in the detect → contain → repair
+// loop: healthy → suspected → migrating → degraded (DESIGN.md §10).
+type State int
+
+const (
+	// StateHealthy: telemetry watched, patrol scrub running, no suspect.
+	StateHealthy State = iota
+	// StateSuspected: a chip's error rate crossed the threshold; bounded
+	// retry-with-backoff probing is discriminating transient from
+	// permanent before any irreversible action.
+	StateSuspected
+	// StateMigrating: chip-kill verdict delivered; the online migration
+	// cursor is walking the rank under demand traffic.
+	StateMigrating
+	// StateDegraded: migration complete; the rank serves from the striped
+	// layout and patrol walks striped groups.
+	StateDegraded
+	// StateWounded: a convicted chip the scheme cannot migrate around
+	// (the parity chip, or a second failure): keep serving, flag for
+	// repair at next boot scrub.
+	StateWounded
+)
+
+// String renders the state.
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateSuspected:
+		return "suspected"
+	case StateMigrating:
+		return "migrating"
+	case StateDegraded:
+		return "degraded"
+	case StateWounded:
+		return "wounded"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Config tunes the supervisor. Zero values take the documented defaults.
+type Config struct {
+	// SuspectThreshold is the decayed per-chip VLEW-failure rate that
+	// raises suspicion. Default 1: a single failed VLEW decode is worth
+	// probing — probes are cheap and reversible.
+	SuspectThreshold float64
+	// Decay is the per-tick multiplier of the per-chip rate windows
+	// (exponential decay, so old noise fades). Default 0.5.
+	Decay float64
+	// ProbeVLEWs is how many randomly placed VLEWs of the suspect chip
+	// one probe round decodes. Default 8.
+	ProbeVLEWs int
+	// ProbeRounds is how many consecutive failing rounds convict the
+	// chip. Default 3.
+	ProbeRounds int
+	// BackoffTicks is the wait before the first retry round; it doubles
+	// after every failing round (bounded retry-with-backoff, so a
+	// transient storm gets time to pass before the verdict). Default 1.
+	BackoffTicks int
+	// SuspectClearRounds is how many consecutive passing rounds return
+	// the chip to good standing. Default 2.
+	SuspectClearRounds int
+	// PatrolUnits is the patrol-scrub increment driven per tick between
+	// demand batches. Default 64; negative disables patrol.
+	PatrolUnits int
+	// BandsPerTick bounds how many bands one migrating tick rewrites, so
+	// migration shares the rank with demand traffic instead of hogging
+	// it. Default 4.
+	BandsPerTick int
+	// Seed feeds probe placement.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SuspectThreshold == 0 {
+		c.SuspectThreshold = 1
+	}
+	if c.Decay == 0 {
+		c.Decay = 0.5
+	}
+	if c.ProbeVLEWs == 0 {
+		c.ProbeVLEWs = 8
+	}
+	if c.ProbeRounds == 0 {
+		c.ProbeRounds = 3
+	}
+	if c.BackoffTicks == 0 {
+		c.BackoffTicks = 1
+	}
+	if c.SuspectClearRounds == 0 {
+		c.SuspectClearRounds = 2
+	}
+	if c.PatrolUnits == 0 {
+		c.PatrolUnits = 64
+	}
+	if c.BandsPerTick == 0 {
+		c.BandsPerTick = 4
+	}
+	return c
+}
+
+// Report is a snapshot of the supervisor's findings for harnesses and
+// campaign gates.
+type Report struct {
+	State             State
+	SuspectChip       int // -1 when none
+	SuspicionsRaised  int64
+	SuspicionsCleared int64
+	Verdicts          int64
+	MigrationResumed  bool // this supervisor resumed a journaled migration at boot
+	PatrolPos         int64
+}
+
+// Supervisor drives the health loop over one engine. It is single-owner:
+// exactly one goroutine calls Tick (the engine underneath stays fully
+// concurrent for demand traffic).
+type Supervisor struct {
+	eng *engine.Engine
+	jrn *Journal
+	cfg Config
+	rng *rand.Rand
+
+	state   State
+	suspect int
+	rates   []float64 // per-chip decayed VLEW-failure rates
+	prevTel core.Telemetry
+
+	failRounds, passRounds int
+	backoff, wait          int
+
+	mig       *core.MigrationState
+	patrolPos int64
+
+	resumed                   bool
+	raised, cleared, verdicts int64
+}
+
+// New builds a supervisor over the engine with its journal in region,
+// performing crash recovery first: a journal that records a completed
+// migration flips the engine to the striped layout; one that records an
+// in-flight migration resumes it (redoing the possibly-torn last band
+// from its write-ahead image) before any demand traffic should start.
+func New(eng *engine.Engine, region *Region, cfg Config) (*Supervisor, error) {
+	jrn, rec, err := Open(region)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	s := &Supervisor{
+		eng:       eng,
+		jrn:       jrn,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5eed6a2d)),
+		state:     StateHealthy,
+		suspect:   -1,
+		rates:     make([]float64, eng.Rank().NumChips()),
+		patrolPos: rec.PatrolPos,
+	}
+	switch {
+	case rec.Done:
+		if err := eng.AdoptDegradedMode(rec.Chip); err != nil {
+			return nil, fmt.Errorf("guard: adopting journaled degraded layout: %w", err)
+		}
+		s.state = StateDegraded
+		s.resumed = true
+	case rec.Active:
+		cursor := int64(0)
+		if rec.LastBand >= 0 {
+			cursor = rec.LastBand * eng.BandBlocks()
+		}
+		m, err := eng.BeginMigration(rec.Chip, cursor)
+		if err != nil {
+			return nil, fmt.Errorf("guard: resuming journaled migration: %w", err)
+		}
+		if rec.LastBand >= 0 {
+			// The journaled band's rewrite may have torn mid-crash; redo
+			// it from the write-ahead image (idempotent).
+			if err := eng.RedoBand(m, rec.BandWAL); err != nil {
+				return nil, fmt.Errorf("guard: redoing journaled band %d: %w", rec.LastBand, err)
+			}
+		}
+		s.mig = m
+		s.state = StateMigrating
+		s.resumed = true
+	}
+	s.prevTel = eng.Telemetry()
+	return s, nil
+}
+
+// RegionSizeFor returns a journal-region size sufficient for one full
+// migration of the engine's rank plus patrol slots and slack.
+func RegionSizeFor(eng *engine.Engine) int {
+	bands := eng.Blocks() / eng.BandBlocks()
+	wal := eng.BandBlocks() * int64(eng.Rank().Config().ChipAccessBytes)
+	perBand := int64(recHeaderSize+4+recTrailerSize) + wal
+	return int(int64(logStart) +
+		int64(recHeaderSize+1+recTrailerSize) + // start
+		bands*perBand +
+		int64(recHeaderSize+recTrailerSize) + // done
+		256)
+}
+
+// State returns the supervisor's current state.
+func (s *Supervisor) State() State { return s.state }
+
+// Report snapshots the supervisor's findings.
+func (s *Supervisor) Report() Report {
+	return Report{
+		State:             s.state,
+		SuspectChip:       s.suspect,
+		SuspicionsRaised:  s.raised,
+		SuspicionsCleared: s.cleared,
+		Verdicts:          s.verdicts,
+		MigrationResumed:  s.resumed,
+		PatrolPos:         s.patrolPos,
+	}
+}
+
+// Tick runs one supervisor step: patrol, observe, probe, or migrate,
+// depending on state. Called between demand batches by whoever owns the
+// scheduling loop (cmd/guardsim, the fault campaigns, a service's
+// background goroutine).
+func (s *Supervisor) Tick() error {
+	switch s.state {
+	case StateHealthy, StateSuspected:
+		s.patrol()
+		s.observe()
+		if s.state == StateHealthy {
+			if ci := s.worstChip(); ci >= 0 {
+				s.suspect = ci
+				s.state = StateSuspected
+				s.raised++
+				s.failRounds, s.passRounds = 0, 0
+				s.backoff = s.cfg.BackoffTicks
+				s.wait = 0
+			}
+		}
+		if s.state == StateSuspected {
+			return s.probeTick()
+		}
+	case StateMigrating:
+		return s.migrateTick()
+	case StateDegraded, StateWounded:
+		s.patrol()
+	}
+	return nil
+}
+
+// Run ticks the supervisor n times, stopping early on error.
+func (s *Supervisor) Run(n int) error {
+	for i := 0; i < n; i++ {
+		if err := s.Tick(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// patrol drives the next patrol-scrub increment and journals the
+// position.
+func (s *Supervisor) patrol() {
+	if s.cfg.PatrolUnits <= 0 {
+		return
+	}
+	s.patrolPos, _ = s.eng.PatrolScrub(s.patrolPos, s.cfg.PatrolUnits)
+	s.jrn.SavePatrol(s.patrolPos)
+}
+
+// observe folds the telemetry delta since the last tick into the decayed
+// per-chip rate windows.
+func (s *Supervisor) observe() {
+	tel := s.eng.Telemetry()
+	d := tel.Delta(s.prevTel)
+	s.prevTel = tel
+	for i := range s.rates {
+		s.rates[i] = s.rates[i]*s.cfg.Decay + float64(d.Chips[i].VLEWFailures)
+	}
+}
+
+// worstChip returns the chip whose rate window tops the suspicion
+// threshold, or -1.
+func (s *Supervisor) worstChip() int {
+	best, bestRate := -1, s.cfg.SuspectThreshold
+	for i, r := range s.rates {
+		if r >= bestRate {
+			best, bestRate = i, r
+		}
+	}
+	return best
+}
+
+// probeTick runs one step of the bounded retry-with-backoff
+// discriminator: decode ProbeVLEWs randomly placed VLEWs of the suspect
+// chip; a round fails when more than half fail (a dead chip fails
+// essentially all probes; a transient storm's isolated broken words fail
+// at most a few). Consecutive failing rounds — each preceded by a
+// doubling backoff so transients get time to pass or be scrubbed —
+// convict; consecutive passing rounds acquit.
+func (s *Supervisor) probeTick() error {
+	if s.wait > 0 {
+		s.wait--
+		return nil
+	}
+	g := s.eng.Rank().Config().Geometry
+	fails := 0
+	for i := 0; i < s.cfg.ProbeVLEWs; i++ {
+		bank := s.rng.Intn(g.Banks)
+		row := s.rng.Intn(g.RowsPerBank)
+		v := s.rng.Intn(g.VLEWsPerRow())
+		if !s.eng.ProbeVLEW(s.suspect, bank, row, v) {
+			fails++
+		}
+	}
+	if fails*2 > s.cfg.ProbeVLEWs {
+		s.failRounds++
+		s.passRounds = 0
+		if s.failRounds >= s.cfg.ProbeRounds {
+			return s.convict()
+		}
+		s.wait = s.backoff
+		s.backoff *= 2
+		return nil
+	}
+	s.passRounds++
+	s.failRounds = 0
+	s.wait = s.cfg.BackoffTicks
+	if s.passRounds >= s.cfg.SuspectClearRounds {
+		s.rates[s.suspect] = 0
+		s.suspect = -1
+		s.state = StateHealthy
+		s.cleared++
+	}
+	return nil
+}
+
+// convict delivers the chip-kill verdict: journal the migration start
+// and begin the online walk. A chip the scheme cannot migrate around
+// (the parity chip) parks the supervisor in StateWounded instead.
+func (s *Supervisor) convict() error {
+	s.verdicts++
+	ci := s.suspect
+	if ci == s.eng.Rank().ParityChipIndex() {
+		s.state = StateWounded
+		return nil
+	}
+	if err := s.jrn.AppendStart(ci); err != nil {
+		return fmt.Errorf("guard: journaling migration start: %w", err)
+	}
+	m, err := s.eng.BeginMigration(ci, 0)
+	if err != nil {
+		s.state = StateWounded
+		return fmt.Errorf("guard: starting migration of chip %d: %w", ci, err)
+	}
+	s.mig = m
+	s.state = StateMigrating
+	return nil
+}
+
+// migrateTick rewrites up to BandsPerTick bands, journaling each band's
+// write-ahead image before touching the rank, and completes the
+// migration when the cursor reaches the end.
+func (s *Supervisor) migrateTick() error {
+	bb := s.eng.BandBlocks()
+	for i := 0; i < s.cfg.BandsPerTick && s.mig.Cursor() < s.eng.Blocks(); i++ {
+		band := s.mig.Cursor() / bb
+		err := s.eng.MigrateBand(s.mig, func(slices []byte) error {
+			return s.jrn.AppendBand(band, slices)
+		})
+		if err != nil {
+			return fmt.Errorf("guard: migrating band %d: %w", band, err)
+		}
+	}
+	if s.mig.Cursor() >= s.eng.Blocks() {
+		if err := s.eng.FinishMigration(); err != nil {
+			return fmt.Errorf("guard: finishing migration: %w", err)
+		}
+		if err := s.jrn.AppendDone(); err != nil {
+			return fmt.Errorf("guard: journaling migration done: %w", err)
+		}
+		s.mig = nil
+		s.state = StateDegraded
+		s.patrolPos = 0 // patrol space changed to striped groups
+	}
+	return nil
+}

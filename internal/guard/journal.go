@@ -1,0 +1,344 @@
+// Package guard is the runtime health supervisor: it closes the paper's
+// detect → contain → repair loop under live engine traffic.
+//
+// The supervisor watches the controller's per-chip error telemetry,
+// discriminates transient faults from permanent chip failure with a
+// bounded retry-with-backoff probe sequence, and on a chip-kill verdict
+// performs the Sec V-E remap as an *online* migration: a cursor walks the
+// rank band by band under the engine's ordinary shard locks while demand
+// traffic keeps flowing. Progress is journaled in a small crash-safe
+// recovery journal (simulated persistent region, torn-write detection via
+// checksummed records), so a crash mid-migration resumes at boot instead
+// of leaving a half-striped rank. The supervisor also owns patrol-scrub
+// scheduling, driving increments through the engine between demand
+// batches. DESIGN.md §10 documents the state machine and record format.
+package guard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Journal region layout:
+//
+//	[ 0, 32): patrol slot A ┐ two alternating fixed slots for the patrol
+//	[32, 64): patrol slot B ┘ position (torn write leaves the other valid)
+//	[64,  …): append-only migration log
+//
+// Patrol slot: magic(1) seq(8) pos(8) crc32(4), zero-padded to 32.
+//
+// Log record: magic(1) type(1) len(2,LE) seq(8,LE) payload(len) crc32(4).
+// The CRC covers everything before it. seq increases by exactly 1 from
+// record to record; recBand payloads carry a strictly increasing band
+// index. Decoding stops at the first byte that violates any of this, so
+// a torn tail (or bit-flipped garbage) can only *shorten* the recovered
+// history, never extend or redirect it.
+const (
+	patrolSlotSize = 32
+	logStart       = 2 * patrolSlotSize
+
+	recMagic    = 0xA7
+	patrolMagic = 0x5B
+
+	recHeaderSize  = 1 + 1 + 2 + 8 // magic, type, len, seq
+	recTrailerSize = 4             // crc32
+)
+
+// Record types.
+const (
+	recStart = 0x01 // payload: chip(1) — migration of this chip began
+	recBand  = 0x02 // payload: band(4,LE) + the band's failed-chip slices
+	recDone  = 0x03 // payload: empty — migration complete, layout striped
+)
+
+// maxPayload bounds a record payload; larger lengths are torn garbage by
+// definition (a band WAL is bandBlocks * chipAccessBytes = 256 bytes in
+// the paper's geometry).
+const maxPayload = 4096
+
+// ErrJournalFull reports an append beyond the region's capacity.
+var ErrJournalFull = errors.New("guard: journal region full")
+
+// Region simulates a small persistent memory region with crash-under-
+// write semantics: TearNextWrite makes the next write persist only a
+// prefix, after which the region acts crashed — later writes are lost —
+// until Reboot.
+type Region struct {
+	buf     []byte
+	tearAt  int // -1: no pending tear
+	crashed bool
+}
+
+// NewRegion allocates a zeroed persistent region of the given size.
+func NewRegion(size int) *Region {
+	return &Region{buf: make([]byte, size), tearAt: -1}
+}
+
+// Size returns the region's capacity.
+func (r *Region) Size() int { return len(r.buf) }
+
+// Bytes exposes the raw persisted bytes — for recovery scans, fuzzing,
+// and fault injection. Mutating it models external corruption.
+func (r *Region) Bytes() []byte { return r.buf }
+
+// TearNextWrite arms the crash hook: the next Write persists only its
+// first keep bytes, and every write after that is lost entirely, until
+// Reboot clears the crashed state. This models power loss mid-store plus
+// the process dying with it.
+func (r *Region) TearNextWrite(keep int) {
+	r.tearAt = keep
+}
+
+// Reboot clears the crashed state; the persisted bytes are whatever
+// survived.
+func (r *Region) Reboot() {
+	r.crashed = false
+	r.tearAt = -1
+}
+
+// Crashed reports whether the crash hook has fired.
+func (r *Region) Crashed() bool { return r.crashed }
+
+// Write persists data at off, honouring a pending tear.
+func (r *Region) Write(off int, data []byte) {
+	if off < 0 || off+len(data) > len(r.buf) {
+		panic(fmt.Sprintf("guard: region write [%d,%d) outside [0,%d)", off, off+len(data), len(r.buf)))
+	}
+	if r.crashed {
+		return
+	}
+	if r.tearAt >= 0 {
+		keep := r.tearAt
+		if keep > len(data) {
+			keep = len(data)
+		}
+		copy(r.buf[off:], data[:keep])
+		r.crashed = true
+		r.tearAt = -1
+		return
+	}
+	copy(r.buf[off:], data)
+}
+
+// Journal is the supervisor's crash-safe progress log over a Region.
+type Journal struct {
+	region    *Region
+	off       int    // next log append offset
+	seq       uint64 // next record sequence number
+	patrolSeq uint64 // next patrol-slot sequence number
+}
+
+// Recovered is what a journal scan finds at boot.
+type Recovered struct {
+	// Active reports a migration that started but has no recDone record.
+	Active bool
+	// Done reports a completed migration: the rank is striped.
+	Done bool
+	// Chip is the migrating/migrated chip (valid when Active or Done).
+	Chip int
+	// LastBand is the highest journaled band index, -1 if none. The
+	// band's rewrite may have torn — BandWAL holds its write-ahead image
+	// for redo.
+	LastBand int64
+	// BandWAL is the last band's journaled failed-chip slices.
+	BandWAL []byte
+	// PatrolPos is the last durably saved patrol position (0 if none).
+	PatrolPos int64
+}
+
+// Open scans a region and returns a journal positioned after the last
+// valid record, plus what it recovered. Torn or corrupted tails are
+// discarded; they can only shorten history (see the format note above).
+func Open(region *Region) (*Journal, Recovered, error) {
+	j := &Journal{region: region}
+	var rec Recovered
+	rec.LastBand = -1
+	if len(region.buf) < logStart {
+		return nil, rec, fmt.Errorf("guard: journal region of %d bytes is smaller than the %d-byte header", len(region.buf), logStart)
+	}
+
+	// Patrol slots: take the valid slot with the higher sequence.
+	var bestSeq uint64
+	for slot := 0; slot < 2; slot++ {
+		if seq, pos, ok := decodePatrolSlot(region.buf[slot*patrolSlotSize : (slot+1)*patrolSlotSize]); ok && seq >= bestSeq {
+			bestSeq, rec.PatrolPos = seq, pos
+			j.patrolSeq = seq + 1
+		}
+	}
+
+	off := logStart
+	wantSeq := uint64(0)
+	lastBand := int64(-1)
+	for {
+		r, n, ok := decodeRecord(region.buf[off:], wantSeq)
+		if !ok {
+			break
+		}
+		switch r.typ {
+		case recStart:
+			if rec.Active || rec.Done {
+				// One migration per journal: a second start is garbage.
+				ok = false
+			} else {
+				rec.Active = true
+				rec.Chip = int(r.payload[0])
+			}
+		case recBand:
+			band := int64(binary.LittleEndian.Uint32(r.payload))
+			if band <= lastBand || !rec.Active || rec.Done {
+				// Non-monotonic band or band outside an active migration:
+				// treat as torn garbage.
+				ok = false
+			} else {
+				lastBand = band
+				rec.LastBand = band
+				rec.BandWAL = append(rec.BandWAL[:0], r.payload[4:]...)
+			}
+		case recDone:
+			if !rec.Active {
+				ok = false
+			} else {
+				rec.Active, rec.Done = false, true
+			}
+		}
+		if !ok {
+			break
+		}
+		off += n
+		wantSeq++
+	}
+	j.off = off
+	j.seq = wantSeq
+	// Erase everything past the recovery point. A record appended after
+	// recovery restarts the sequence from here; stale records from an
+	// earlier journal life could otherwise sit beyond it with exactly the
+	// sequence numbers the next scan expects and get resurrected into the
+	// new history.
+	if off < len(region.buf) {
+		region.Write(off, make([]byte, len(region.buf)-off))
+	}
+	return j, rec, nil
+}
+
+type record struct {
+	typ     byte
+	seq     uint64
+	payload []byte
+}
+
+// decodeRecord parses one record at the head of buf, validating magic,
+// length bounds, CRC, sequence continuity, and type-specific payload
+// shape. It returns ok=false on anything suspect.
+func decodeRecord(buf []byte, wantSeq uint64) (r record, n int, ok bool) {
+	if len(buf) < recHeaderSize+recTrailerSize {
+		return r, 0, false
+	}
+	if buf[0] != recMagic {
+		return r, 0, false
+	}
+	r.typ = buf[1]
+	plen := int(binary.LittleEndian.Uint16(buf[2:4]))
+	if plen > maxPayload {
+		return r, 0, false
+	}
+	n = recHeaderSize + plen + recTrailerSize
+	if len(buf) < n {
+		return r, 0, false
+	}
+	r.seq = binary.LittleEndian.Uint64(buf[4:12])
+	if r.seq != wantSeq {
+		return r, 0, false
+	}
+	want := binary.LittleEndian.Uint32(buf[n-4 : n])
+	if crc32.ChecksumIEEE(buf[:n-4]) != want {
+		return r, 0, false
+	}
+	r.payload = buf[recHeaderSize : recHeaderSize+plen]
+	switch r.typ {
+	case recStart:
+		if plen != 1 {
+			return r, 0, false
+		}
+	case recBand:
+		if plen < 4 {
+			return r, 0, false
+		}
+	case recDone:
+		if plen != 0 {
+			return r, 0, false
+		}
+	default:
+		return r, 0, false
+	}
+	return r, n, true
+}
+
+// append encodes and persists one record.
+func (j *Journal) append(typ byte, payload []byte) error {
+	n := recHeaderSize + len(payload) + recTrailerSize
+	if j.off+n > len(j.region.buf) {
+		return fmt.Errorf("%w: need %d bytes at %d of %d", ErrJournalFull, n, j.off, len(j.region.buf))
+	}
+	buf := make([]byte, n)
+	buf[0] = recMagic
+	buf[1] = typ
+	binary.LittleEndian.PutUint16(buf[2:4], uint16(len(payload)))
+	binary.LittleEndian.PutUint64(buf[4:12], j.seq)
+	copy(buf[recHeaderSize:], payload)
+	binary.LittleEndian.PutUint32(buf[n-4:], crc32.ChecksumIEEE(buf[:n-4]))
+	j.region.Write(j.off, buf)
+	if j.region.Crashed() {
+		// Power died during (or before) this store: the caller must not
+		// proceed as if the record were durable — in particular a band's
+		// write-ahead image that tore must abort the band rewrite, keeping
+		// the rank behind the journal, never ahead of it.
+		return fmt.Errorf("guard: journal write of record %d torn: region crashed", j.seq)
+	}
+	j.off += n
+	j.seq++
+	return nil
+}
+
+// AppendStart journals the beginning of an online migration of chip.
+func (j *Journal) AppendStart(chip int) error {
+	return j.append(recStart, []byte{byte(chip)})
+}
+
+// AppendBand journals a band's write-ahead image: the failed-chip slices
+// about to be remapped. Persisted *before* the band rewrite touches the
+// rank, so a crash at any point of the rewrite is redoable.
+func (j *Journal) AppendBand(band int64, failedSlices []byte) error {
+	payload := make([]byte, 4+len(failedSlices))
+	binary.LittleEndian.PutUint32(payload, uint32(band))
+	copy(payload[4:], failedSlices)
+	return j.append(recBand, payload)
+}
+
+// AppendDone journals migration completion.
+func (j *Journal) AppendDone() error {
+	return j.append(recDone, nil)
+}
+
+// SavePatrol durably stores the patrol position, alternating between the
+// two fixed slots so a torn store leaves the previous position intact.
+func (j *Journal) SavePatrol(pos int64) {
+	buf := make([]byte, patrolSlotSize)
+	buf[0] = patrolMagic
+	binary.LittleEndian.PutUint64(buf[1:9], j.patrolSeq)
+	binary.LittleEndian.PutUint64(buf[9:17], uint64(pos))
+	binary.LittleEndian.PutUint32(buf[17:21], crc32.ChecksumIEEE(buf[:17]))
+	j.region.Write(int(j.patrolSeq%2)*patrolSlotSize, buf)
+	j.patrolSeq++
+}
+
+func decodePatrolSlot(buf []byte) (seq uint64, pos int64, ok bool) {
+	if buf[0] != patrolMagic {
+		return 0, 0, false
+	}
+	if crc32.ChecksumIEEE(buf[:17]) != binary.LittleEndian.Uint32(buf[17:21]) {
+		return 0, 0, false
+	}
+	return binary.LittleEndian.Uint64(buf[1:9]), int64(binary.LittleEndian.Uint64(buf[9:17])), true
+}

@@ -1,0 +1,167 @@
+package guard
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	reg := NewRegion(4096)
+	j, rec, err := Open(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Active || rec.Done || rec.LastBand != -1 || rec.PatrolPos != 0 {
+		t.Fatalf("fresh region recovered %+v", rec)
+	}
+	if err := j.AppendStart(3); err != nil {
+		t.Fatal(err)
+	}
+	wal0 := bytes.Repeat([]byte{0xAB}, 256)
+	wal1 := bytes.Repeat([]byte{0xCD}, 256)
+	if err := j.AppendBand(0, wal0); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendBand(1, wal1); err != nil {
+		t.Fatal(err)
+	}
+	j.SavePatrol(77)
+
+	_, rec, err = Open(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Active || rec.Done || rec.Chip != 3 {
+		t.Fatalf("recovered %+v, want active chip 3", rec)
+	}
+	if rec.LastBand != 1 || !bytes.Equal(rec.BandWAL, wal1) {
+		t.Fatalf("recovered band %d (wal ok=%v), want band 1", rec.LastBand, bytes.Equal(rec.BandWAL, wal1))
+	}
+	if rec.PatrolPos != 77 {
+		t.Fatalf("patrol pos %d, want 77", rec.PatrolPos)
+	}
+
+	// Reopen returns a journal positioned to continue: complete the
+	// migration and recover Done.
+	j2, _, err := Open(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.AppendDone(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err = Open(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Active || !rec.Done || rec.Chip != 3 || rec.LastBand != 1 {
+		t.Fatalf("after done: recovered %+v", rec)
+	}
+}
+
+func TestJournalTornBandRecord(t *testing.T) {
+	for keep := 0; keep < 40; keep += 7 {
+		reg := NewRegion(4096)
+		j, _, err := Open(reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.AppendStart(2); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.AppendBand(0, bytes.Repeat([]byte{1}, 256)); err != nil {
+			t.Fatal(err)
+		}
+		reg.TearNextWrite(keep) // band 1's record tears after `keep` bytes
+		if err := j.AppendBand(1, bytes.Repeat([]byte{2}, 256)); err == nil {
+			t.Fatal("torn append reported success")
+		}
+		if !reg.Crashed() {
+			t.Fatal("tear did not fire")
+		}
+		reg.Reboot()
+		_, rec, err := Open(reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rec.Active || rec.Chip != 2 {
+			t.Fatalf("keep=%d: recovered %+v", keep, rec)
+		}
+		if rec.LastBand != 0 {
+			t.Fatalf("keep=%d: torn band accepted, LastBand=%d", keep, rec.LastBand)
+		}
+	}
+}
+
+func TestJournalBitFlippedTail(t *testing.T) {
+	reg := NewRegion(4096)
+	j, _, err := Open(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendStart(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendBand(0, bytes.Repeat([]byte{9}, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendBand(1, bytes.Repeat([]byte{8}, 256)); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit inside the last record's payload: its CRC fails, so
+	// recovery falls back to band 0.
+	reg.Bytes()[logStart+2*(recHeaderSize+recTrailerSize)+1+4+260+100] ^= 0x10
+	_, rec, err := Open(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.LastBand != 0 {
+		t.Fatalf("bit-flipped band accepted, LastBand=%d", rec.LastBand)
+	}
+}
+
+func TestPatrolSlotAlternation(t *testing.T) {
+	reg := NewRegion(4096)
+	j, _, err := Open(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SavePatrol(10)
+	j.SavePatrol(20)
+	j.SavePatrol(30)
+	// Torn save: the previous position must survive in the other slot.
+	reg.TearNextWrite(9)
+	j.SavePatrol(40)
+	reg.Reboot()
+	_, rec, err := Open(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.PatrolPos != 30 {
+		t.Fatalf("patrol pos after torn save = %d, want 30", rec.PatrolPos)
+	}
+	// And saving keeps working after reopen.
+	j2, _, err := Open(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.SavePatrol(50)
+	if _, rec, _ := Open(reg); rec.PatrolPos != 50 {
+		t.Fatalf("patrol pos = %d, want 50", rec.PatrolPos)
+	}
+}
+
+func TestJournalFull(t *testing.T) {
+	reg := NewRegion(logStart + 40)
+	j, _, err := Open(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendStart(0); err != nil {
+		t.Fatal(err)
+	}
+	err = j.AppendBand(0, bytes.Repeat([]byte{1}, 256))
+	if err == nil {
+		t.Fatal("append into full region succeeded")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"chipkillpm/internal/core"
@@ -60,6 +61,12 @@ type Campaign struct {
 	// concurrency contract (meaningful under -race).
 	ProbeStatsDuringScrub bool `json:"probe_stats,omitempty"`
 
+	// Guard switches the campaign to a supervisor scenario (see
+	// GuardSpec): instead of the scripted event loop, the harness runs the
+	// internal/guard health supervisor against live traffic. Guard
+	// campaigns always drive the sharded engine.
+	Guard *GuardSpec `json:"guard,omitempty"`
+
 	Events []Event `json:"events,omitempty"`
 	Expect Expect  `json:"expect"`
 }
@@ -107,6 +114,9 @@ func NewHarness(suite string, c Campaign) (*Harness, error) {
 	}
 	if c.Threshold <= 0 {
 		c.Threshold = 2
+	}
+	if c.Guard != nil && c.EngineShards <= 0 {
+		c.EngineShards = c.Banks // guard scenarios need the sharded engine
 	}
 	seed := campaignSeed(c.Name, c.Seed)
 	r, err := rank.New(rank.PaperConfig(c.Banks, c.RowsPerBank, c.RowBytes, seed+1))
@@ -217,7 +227,19 @@ func (h *Harness) Rank() *rank.Rank { return h.rank }
 func (h *Harness) Run() *CampaignReport {
 	start := time.Now()
 	h.initWorkingSet()
+	if h.c.Guard != nil {
+		h.runGuard()
+	} else {
+		h.runScripted()
+	}
+	h.sweep() // final byte-for-byte verification of every committed block
+	h.rep.ElapsedMS = time.Since(start).Milliseconds()
+	h.rep.finish()
+	return h.rep
+}
 
+// runScripted interleaves the randomized workload with scripted events.
+func (h *Harness) runScripted() {
 	events := append([]Event(nil), h.c.Events...)
 	sort.SliceStable(events, func(i, j int) bool { return events[i].AtOp < events[j].AtOp })
 	next := 0
@@ -235,11 +257,6 @@ func (h *Harness) Run() *CampaignReport {
 	for ; next < len(events); next++ { // events scripted past the op budget
 		h.apply(events[next])
 	}
-
-	h.sweep() // final byte-for-byte verification of every committed block
-	h.rep.ElapsedMS = time.Since(start).Milliseconds()
-	h.rep.finish()
-	return h.rep
 }
 
 // RunCampaign builds and runs one campaign under a suite label.
@@ -518,15 +535,25 @@ func (h *Harness) fail(kind string, block int64, detail string) {
 // omvSource supplies old memory values from the oracle with a configured
 // hit rate, modelling the LLC's OMV-preserving cache; corruptNext arms a
 // one-shot single-bit OMV fault (a hit, so the fault actually lands).
+//
+// The source is only coherent while the oracle is committed after every
+// write — true for the serial workload. Concurrent guard workers bypass
+// the oracle mid-flight (their shadows merge at the end), so they set
+// disabled, forcing every write to fetch its OMV from memory; this also
+// keeps the non-thread-safe rng off the engine's concurrent write path.
 type omvSource struct {
 	oracle      *Oracle
 	rng         *rand.Rand
 	hitRate     float64
 	corruptNext bool
+	disabled    atomic.Bool
 }
 
 // OMV implements core.OMVProvider.
 func (o *omvSource) OMV(block int64) ([]byte, bool) {
+	if o.disabled.Load() {
+		return nil, false
+	}
 	want, ok := o.oracle.Expected(block)
 	if !ok {
 		return nil, false

@@ -243,3 +243,36 @@ func TestReportExpectations(t *testing.T) {
 		}
 	}
 }
+
+// TestGuardSuite runs the self-healing scenarios: chip-kill under
+// concurrent load, crash mid-migration with journal recovery, and a
+// transient storm the supervisor must acquit. The concurrent scenario is
+// also a race detector target (it runs under `make race`).
+func TestGuardSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("guard suite is heavy; run without -short")
+	}
+	rep := requireSuitePass(t, "guard", 1)
+	if rep.TotalSDC != 0 || rep.TotalDUE != 0 {
+		t.Fatalf("guard suite saw %d SDCs, %d DUEs", rep.TotalSDC, rep.TotalDUE)
+	}
+	for _, cr := range rep.Campaigns {
+		if cr.Guard == nil {
+			t.Fatalf("campaign %s reported no guard summary", cr.Name)
+		}
+		switch cr.Guard.Scenario {
+		case ScenarioChipKillUnderLoad:
+			if cr.Guard.OpsDuringMigration == 0 {
+				t.Errorf("%s: no traffic overlapped the migration", cr.Name)
+			}
+		case ScenarioCrashDuringMigration:
+			if !cr.Guard.MigrationResumed {
+				t.Errorf("%s: journal recovery never resumed", cr.Name)
+			}
+		case ScenarioTransientStorm:
+			if cr.Guard.Verdicts != 0 || cr.Guard.BandsMigrated != 0 {
+				t.Errorf("%s: spurious verdict or migration", cr.Name)
+			}
+		}
+	}
+}

@@ -79,6 +79,9 @@ type CampaignReport struct {
 	DeltaCorrupts  int   `json:"delta_corrupts"`
 	OMVCorrupts    int   `json:"omv_corrupts"`
 
+	// Guard summarises the supervisor run for guard campaigns.
+	Guard *GuardReport `json:"guard,omitempty"`
+
 	Expect        Expect    `json:"expect"`
 	Failures      []Failure `json:"failures,omitempty"`
 	FailuresTotal int       `json:"failures_total"`
@@ -126,14 +129,33 @@ func (r *CampaignReport) finish() {
 	r.Reason = strings.Join(reasons, "; ")
 }
 
+// GuardReport summarises a health-supervisor scenario: what the
+// supervisor concluded and how much traffic overlapped its repair.
+type GuardReport struct {
+	Scenario           string `json:"scenario"`
+	State              string `json:"state"` // final supervisor state
+	SuspicionsRaised   int64  `json:"suspicions_raised"`
+	SuspicionsCleared  int64  `json:"suspicions_cleared"`
+	Verdicts           int64  `json:"verdicts"`
+	BandsMigrated      int64  `json:"bands_migrated"`
+	OpsDuringMigration int64  `json:"ops_during_migration"`
+	WorkerOps          int64  `json:"worker_ops,omitempty"`
+	MigrationResumed   bool   `json:"migration_resumed,omitempty"`
+}
+
 // Summary renders the one-line human summary used by the CLI and tests.
 func (r *CampaignReport) Summary() string {
 	verdict := "PASS"
 	if !r.Pass {
 		verdict = "FAIL"
 	}
-	return fmt.Sprintf("%-22s reads=%-7d writes=%-6d corrected=%-5d fallback=%d (%.4f%%) due=%d sdc=%d %s",
-		r.Name, r.Reads, r.Writes, r.CorrectedRS, r.Fallback, r.FallbackRate*100, r.DUE, r.SDC, verdict)
+	guard := ""
+	if g := r.Guard; g != nil {
+		guard = fmt.Sprintf(" guard[%s: %s bands=%d overlap=%d]",
+			g.Scenario, g.State, g.BandsMigrated, g.OpsDuringMigration)
+	}
+	return fmt.Sprintf("%-22s reads=%-7d writes=%-6d corrected=%-5d fallback=%d (%.4f%%) due=%d sdc=%d%s %s",
+		r.Name, r.Reads, r.Writes, r.CorrectedRS, r.Fallback, r.FallbackRate*100, r.DUE, r.SDC, guard, verdict)
 }
 
 // Report aggregates a suite run.

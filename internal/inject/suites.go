@@ -8,7 +8,7 @@ import "fmt"
 var paperFallbackBand = Band{Lo: 0.9e-4, Hi: 3.6e-4}
 
 // SuiteNames lists the named suites in presentation order.
-func SuiteNames() []string { return []string{"smoke", "standard", "soak", "escape"} }
+func SuiteNames() []string { return []string{"smoke", "standard", "guard", "soak", "escape"} }
 
 // Suite returns the campaign list for a named suite, parameterised by the
 // base seed (each campaign further mixes in its own name).
@@ -18,6 +18,8 @@ func Suite(name string, seed int64) ([]Campaign, error) {
 		return smokeSuite(seed), nil
 	case "standard":
 		return standardSuite(seed), nil
+	case "guard":
+		return guardSuite(seed), nil
 	case "soak":
 		return soakSuite(seed), nil
 	case "escape":
@@ -182,6 +184,40 @@ func standardSuite(seed int64) []Campaign {
 				{AtOp: 600, Kind: EvEnterDegraded, Chip: 3},
 				{AtOp: 1200, Kind: EvDrift, RBER: 7e-5},
 			},
+		},
+	}
+}
+
+// guardSuite exercises the self-healing runtime: the internal/guard
+// supervisor detecting and repairing faults in the loop, with the oracle
+// holding it to zero SDC and zero lost writes.
+func guardSuite(seed int64) []Campaign {
+	return []Campaign{
+		{
+			// A data chip dies under concurrent demand traffic; the
+			// supervisor detects it from telemetry, convicts it with
+			// probes, and migrates the rank online — workers never pause,
+			// and some of their ops must land mid-migration.
+			Name: "guard-chipkill-load", Seed: seed,
+			Banks: 4, RowsPerBank: 8, RowBytes: 1024,
+			Ops: 200, WriteFrac: 0.3, OMVHitRate: 0.7,
+			Guard: &GuardSpec{Scenario: ScenarioChipKillUnderLoad, Workers: 4, KillChip: 2},
+		},
+		{
+			// Power loss tears a journal write mid-migration; the reboot
+			// supervisor must resume from the journal, redo the in-doubt
+			// band, and finish with every block intact.
+			Name: "guard-crash-migration", Seed: seed,
+			Ops: 0, WriteFrac: 0.3, OMVHitRate: 0.7,
+			Guard: &GuardSpec{Scenario: ScenarioCrashDuringMigration, KillChip: 1, CrashAfterBands: 8},
+		},
+		{
+			// A dead VLEW on a healthy chip floods the failure telemetry;
+			// the probe rounds must acquit — zero verdicts, zero spurious
+			// migrations.
+			Name: "guard-transient-storm", Seed: seed,
+			Ops: 0, WriteFrac: 0.3, OMVHitRate: 0.7,
+			Guard: &GuardSpec{Scenario: ScenarioTransientStorm, StormChip: 3},
 		},
 	}
 }

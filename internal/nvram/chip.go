@@ -65,6 +65,7 @@ type Stats struct {
 	RowCloses         int64
 	BitErrorsInjected int64
 	BitsWritten       int64 // physical data bits written (for wear accounting)
+	FailedAccesses    int64 // reads served while the chip was failed (garbage returned)
 }
 
 // CFactor returns the ratio between VLEW code-bit writes and data writes —
@@ -174,6 +175,7 @@ func (c *Chip) Stats() Stats {
 		RowCloses:         atomic.LoadInt64(&c.stats.RowCloses),
 		BitErrorsInjected: atomic.LoadInt64(&c.stats.BitErrorsInjected),
 		BitsWritten:       atomic.LoadInt64(&c.stats.BitsWritten),
+		FailedAccesses:    atomic.LoadInt64(&c.stats.FailedAccesses),
 	}
 }
 
@@ -235,6 +237,7 @@ func (c *Chip) ReadDataInto(dst []byte, bank, row, off int) {
 		panic(fmt.Sprintf("nvram: data read [%d,%d) outside row data %d", off, off+len(dst), c.geom.RowDataBytes))
 	}
 	if c.failed {
+		atomic.AddInt64(&c.stats.FailedAccesses, 1)
 		c.mu.Lock()
 		c.rng.Read(dst)
 		c.mu.Unlock()
@@ -396,6 +399,7 @@ func (c *Chip) ReadVLEW(bank, row, v int) (data, code []byte) {
 	data = make([]byte, c.geom.VLEWDataBytes)
 	code = make([]byte, c.geom.VLEWCodeBytes)
 	if c.failed {
+		atomic.AddInt64(&c.stats.FailedAccesses, 1)
 		c.rng.Read(data)
 		c.rng.Read(code)
 		return data, code
@@ -528,6 +532,7 @@ func (c *Chip) ReadCode(bank, row, v int) []byte {
 	}
 	out := make([]byte, c.geom.VLEWCodeBytes)
 	if c.failed {
+		atomic.AddInt64(&c.stats.FailedAccesses, 1)
 		c.mu.Lock()
 		c.rng.Read(out)
 		c.mu.Unlock()

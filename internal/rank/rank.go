@@ -237,6 +237,18 @@ func (r *Rank) CloseAllRows() {
 	r.parity.CloseAllRows()
 }
 
+// CloseBankRows closes the given bank's open row on every chip, draining
+// that bank's EURs. Bank-addressed, so it may run concurrently with
+// traffic to other banks (see the Rank concurrency contract); online
+// migration uses it to retire a band's code slots without quiescing the
+// rank.
+func (r *Rank) CloseBankRows(bank int) {
+	for _, c := range r.chips {
+		c.CloseRow(bank)
+	}
+	r.parity.CloseRow(bank)
+}
+
 // InjectRetentionErrors flips stored bits on every healthy chip with the
 // given per-bit probability; models time without refresh (e.g. an outage).
 // Returns total bits flipped.

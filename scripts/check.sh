@@ -26,14 +26,15 @@ echo "== go test"
 go test ./... -count=1
 
 if ! $quick; then
-	echo "== go test -race (core, rank, memctrl, sim, inject, engine)"
+	echo "== go test -race (core, rank, memctrl, sim, inject, engine, guard)"
 	go test -race -count=1 ./internal/core/... ./internal/rank/... \
 		./internal/memctrl/... ./internal/sim/... ./internal/inject/... \
-		./internal/engine/...
+		./internal/engine/... ./internal/guard/...
 
 	echo "== fuzz smoke (10s per decoder)"
 	go test ./internal/bch/ -fuzz=FuzzDecode -fuzztime=10s
 	go test ./internal/rs/ -fuzz=FuzzDecode -fuzztime=10s
+	go test ./internal/guard/ -fuzz=FuzzJournalDecode -fuzztime=10s
 
 	echo "== fault campaigns (standard suite)"
 	go run ./cmd/faultcampaign -suite standard
