@@ -1,12 +1,18 @@
 # Standard entry points; scripts/check.sh is the single source of truth
 # for what "passing" means.
 
-.PHONY: all build test race bench benchruntime check check-quick campaign soak fuzz
+.PHONY: all build test race bench benchruntime check check-quick campaign soak fuzz vet
 
 all: build
 
 build:
 	go build ./...
+
+# Contract analyzers (internal/analysis) on top of stock go vet: the
+# noalloc/shardlock/sentinel/bankaccess rules over the whole repo.
+vet:
+	go vet ./...
+	go run ./cmd/chipkillvet ./...
 
 test:
 	go test ./... -count=1

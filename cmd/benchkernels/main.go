@@ -239,6 +239,9 @@ func rsResults() []result {
 
 // scrubResult mirrors the repo-root BenchmarkBootScrub: a 2-bank, 8-row rank
 // that sat a week without refresh (RBER 1e-3), re-injected every iteration.
+// The bench loop owns the rank exclusively.
+//
+//chipkill:rankwide
 func scrubResult(name string, workers int) result {
 	return measure(name, func(b *testing.B) {
 		r, err := rank.New(rank.PaperConfig(2, 8, 1024, 1))

@@ -1,0 +1,79 @@
+// Command chipkillvet runs the repository's contract analyzers
+// (internal/analysis) over a set of packages:
+//
+//	noalloc    — //chipkill:noalloc functions must not allocate,
+//	             transitively through statically resolvable callees
+//	shardlock  — rank-wide maintenance only from //chipkill:rankwide
+//	             functions or (*engine.Engine).Quiesce sections
+//	sentinel   — errors.Is over ==/string matching; no dropped
+//	             persistence-critical errors
+//	bankaccess — quiescence-class nvram.Chip mutations only from
+//	             quiescent contexts
+//
+// Usage:
+//
+//	go run ./cmd/chipkillvet [-C dir] [packages]
+//
+// Packages default to ./... . Exit status is 0 when clean, 1 when any
+// analyzer reported a finding, 2 when loading or type-checking failed.
+// Intentional exceptions are annotated in the source with
+// //chipkill:allow <analyzer> <reason> (see internal/analysis).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"chipkillpm/internal/analysis"
+)
+
+func main() {
+	dir := flag.String("C", ".", "directory to resolve packages in")
+	list := flag.Bool("list", false, "print the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: chipkillvet [-C dir] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	suite := analysis.NewSuite(analyzers...)
+	diags, err := suite.Run(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chipkillvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	base, err := filepath.Abs(*dir)
+	if err != nil {
+		base = ""
+	}
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if base != "" {
+			if rel, err := filepath.Rel(base, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "chipkillvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -141,6 +141,10 @@ func decode(data []byte) (key, value string) {
 	return string(data[4 : 4+kl]), string(data[4+kl : 4+kl+vl])
 }
 
+// main drives the store from a single goroutine, so the simulated
+// outage (retention drift, chip kill, boot scrub) sees a quiescent rank.
+//
+//chipkill:rankwide
 func main() {
 	log.SetFlags(0)
 	store, err := NewStore(2, 32, 2024)

@@ -31,6 +31,10 @@ func main() {
 	surviveOutage(true)
 }
 
+// surviveOutage is a serial demo act: fault injection and the boot
+// scrub run with no concurrent readers.
+//
+//chipkill:rankwide
 func surviveOutage(chipDies bool) {
 	r, err := rank.New(rank.PaperConfig(2, 16, 1024, 7))
 	if err != nil {

@@ -22,6 +22,10 @@ import (
 	"chipkillpm/internal/rank"
 )
 
+// main is a serial demo: fault injection runs with no concurrent
+// readers.
+//
+//chipkill:rankwide
 func main() {
 	log.SetFlags(0)
 

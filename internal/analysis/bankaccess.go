@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BankAccess polices the nvram.Chip quiescence contract: the
+// fault-injection and maintenance methods that mutate per-bank chip
+// state without taking the per-bank ownership into account (Fail,
+// Repair, CloseAllRows, InjectRetentionErrors, WearOutBit, FlipDataBit,
+// FlipCodeBit — and the rank-level sweeps that fan out to them) require
+// full quiescence: no concurrent access of any kind (see the Chip
+// doc comment). Outside the owning packages (internal/nvram and
+// internal/rank, which hold the contract), a call to one of these is
+// only legal from
+//
+//   - a function literal passed to (*engine.Engine).Quiesce (all shard
+//     locks held), or
+//   - a function annotated //chipkill:rankwide (serial harness, boot
+//     path, or supervisor-owned recovery), or
+//   - a line carrying //chipkill:allow bankaccess <reason>.
+//
+// Bank-scoped methods (CloseBankRows, the demand read/write methods)
+// are deliberately not policed: the per-bank disjointness contract
+// makes them shardable, which is the whole point of the engine.
+var BankAccess = &Analyzer{
+	Name:          "bankaccess",
+	Doc:           "quiescence-class nvram.Chip mutations only from quiescent contexts",
+	SkipTestFiles: true,
+	Run:           runBankAccess,
+}
+
+var quiescenceMethods = []struct {
+	pkgSuffix, typeName string
+	methods             map[string]bool
+}{
+	{"internal/nvram", "Chip", map[string]bool{
+		"Fail": true, "Repair": true, "CloseAllRows": true,
+		"InjectRetentionErrors": true, "WearOutBit": true,
+		"FlipDataBit": true, "FlipCodeBit": true,
+	}},
+	{"internal/rank", "Rank", map[string]bool{
+		"FailChip": true, "InjectRetentionErrors": true, "CloseAllRows": true,
+	}},
+}
+
+func isQuiescenceOp(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	for _, set := range quiescenceMethods {
+		if set.methods[fn.Name()] && methodOn(fn, set.pkgSuffix, set.typeName, fn.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+func runBankAccess(pass *Pass) {
+	// The owning packages implement the contract; their internal calls
+	// (e.g. Rank.CloseAllRows fanning out to each chip) are the
+	// mechanism itself.
+	if pathHasSuffix(pass.Pkg.PkgPath, "internal/nvram") ||
+		pathHasSuffix(pass.Pkg.PkgPath, "internal/rank") {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		spans := quiesceSpans(pass.Pkg, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(pass.Pkg.Info, call)
+			if !isQuiescenceOp(fn) {
+				return true
+			}
+			if inSpans(spans, call.Pos()) {
+				return true
+			}
+			if pass.Pkg.dirs.marked("rankwide", call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"quiescence-class chip mutation %s called outside a Quiesce section or //chipkill:rankwide function",
+				symbolKey(fn))
+			return true
+		})
+	}
+}

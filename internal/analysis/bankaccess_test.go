@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"chipkillpm/internal/analysis"
+	"chipkillpm/internal/analysis/analysistest"
+)
+
+func TestBankAccess(t *testing.T) {
+	analysistest.Run(t, "testdata/bankaccess", analysis.BankAccess)
+}

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// The loader resolves packages with `go list -deps -test -export`: every
+// dependency (standard library included) is imported from the compiler's
+// export data in the build cache, and only the packages under analysis
+// are parsed and type-checked from source. This keeps the checker
+// dependency-free — no golang.org/x/tools, no network — while still
+// giving analyzers full go/types information, including in-package test
+// files via the "pkg [pkg.test]" test variants.
+
+// listPackage mirrors the `go list -json` fields the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	Incomplete bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+	Module     *struct{ Path string }
+}
+
+// canonical strips the test-variant suffix: "p [p.test]" -> "p".
+func (p *listPackage) canonical() string {
+	if i := strings.Index(p.ImportPath, " ["); i >= 0 {
+		return p.ImportPath[:i]
+	}
+	return p.ImportPath
+}
+
+// load runs `go list` in dir and type-checks every non-standard package
+// in dependency order. Target packages (those matched by the patterns)
+// get IsTarget; in-module dependencies are loaded too so allocation
+// facts exist for them. When both a package and its test variant are
+// listed, only the variant is kept — it is a strict superset.
+func load(fset *token.FileSet, dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-deps", "-test", "-export",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly,ForTest,Incomplete,ImportMap,Error,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	byPath := map[string]*listPackage{}
+	var order []*listPackage
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		byPath[p.ImportPath] = p
+		order = append(order, p)
+	}
+
+	// Index which canonical paths have a test variant, so the plain
+	// compilation can be skipped in favour of the superset.
+	hasVariant := map[string]bool{}
+	for _, p := range order {
+		if p.ForTest != "" && p.ForTest == p.canonical() {
+			hasVariant[p.ForTest] = true
+		}
+	}
+
+	// One shared importer serves every package without an ImportMap
+	// (its cache then amortises export-data decoding); packages with an
+	// ImportMap (external test packages) get a private importer so the
+	// remapped paths cannot poison the shared cache.
+	sharedImp := importer.ForCompiler(fset, "gc", exportLookup(byPath, nil))
+
+	var pkgs []*Package
+	var loadErrs []string
+	for _, p := range order {
+		if p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Name == "main" && strings.HasSuffix(p.ImportPath, ".test") {
+			continue // synthesised test binary main
+		}
+		if p.ForTest == "" && hasVariant[p.ImportPath] {
+			continue // superseded by the test variant
+		}
+		if p.Error != nil {
+			loadErrs = append(loadErrs, fmt.Sprintf("%s: %s", p.ImportPath, p.Error.Err))
+			continue
+		}
+		var files []*ast.File
+		parseFailed := false
+		for _, name := range p.GoFiles {
+			fn := name
+			if !filepath.IsAbs(fn) {
+				fn = filepath.Join(p.Dir, name)
+			}
+			af, err := parser.ParseFile(fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				loadErrs = append(loadErrs, err.Error())
+				parseFailed = true
+				continue
+			}
+			files = append(files, af)
+		}
+		if parseFailed {
+			continue
+		}
+		imp := sharedImp
+		if len(p.ImportMap) > 0 {
+			imp = importer.ForCompiler(fset, "gc", exportLookup(byPath, p.ImportMap))
+		}
+		var typeErrs []string
+		conf := types.Config{
+			Importer: imp,
+			Error: func(err error) {
+				typeErrs = append(typeErrs, err.Error())
+			},
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		tpkg, _ := conf.Check(p.canonical(), fset, files, info)
+		if len(typeErrs) > 0 {
+			loadErrs = append(loadErrs, typeErrs...)
+			continue
+		}
+		pkgs = append(pkgs, &Package{
+			PkgPath:       p.canonical(),
+			Name:          p.Name,
+			Dir:           p.Dir,
+			IsTarget:      !p.DepOnly,
+			IsTestVariant: p.ForTest != "",
+			Files:         files,
+			Types:         tpkg,
+			Info:          info,
+		})
+	}
+	if len(loadErrs) > 0 {
+		return nil, fmt.Errorf("analysis: load errors:\n  %s", strings.Join(loadErrs, "\n  "))
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("analysis: no packages matched %v in %s", patterns, dir)
+	}
+	return pkgs, nil
+}
+
+// exportLookup resolves import paths to export-data readers, applying a
+// package's ImportMap first (test variants remap their package under
+// test to the "[pkg.test]" compilation).
+func exportLookup(byPath map[string]*listPackage, importMap map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		if m, ok := importMap[path]; ok {
+			path = m
+		}
+		dep, ok := byPath[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: import %q not in go list output", path)
+		}
+		if dep.Export == "" {
+			return nil, fmt.Errorf("analysis: no export data for %q (does it compile?)", path)
+		}
+		return os.Open(dep.Export)
+	}
+}

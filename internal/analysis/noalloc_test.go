@@ -1,0 +1,38 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"chipkillpm/internal/analysis"
+	"chipkillpm/internal/analysis/analysistest"
+)
+
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata/noalloc", analysis.NoAlloc)
+}
+
+// TestNoAllocCatchesAnnotationRemoval pins the transitive guarantee the
+// testdata relies on: helper() allocates and carries no annotation
+// (as if its //chipkill:noalloc had been removed while an allocation
+// was added), and the still-annotated callers badTransitive and
+// badTwoHops must be the ones that report it.
+func TestNoAllocCatchesAnnotationRemoval(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/noalloc", analysis.NoAlloc)
+	found := map[string]bool{}
+	for _, d := range diags {
+		if d.Analyzer != "noalloc" {
+			continue
+		}
+		for _, caller := range []string{"badTransitive", "badTwoHops"} {
+			if strings.Contains(d.Message, caller) && strings.Contains(d.Message, "allocates") {
+				found[caller] = true
+			}
+		}
+	}
+	for _, caller := range []string{"badTransitive", "badTwoHops"} {
+		if !found[caller] {
+			t.Errorf("no transitive allocation diagnostic attributed to %s", caller)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"chipkillpm/internal/analysis"
+	"chipkillpm/internal/analysis/analysistest"
+)
+
+func TestSentinel(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/sentinel", analysis.Sentinel)
+
+	// Sentinel is the one analyzer that must reach into _test.go files.
+	var inTest bool
+	for _, d := range diags {
+		if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+			inTest = true
+		}
+	}
+	if !inTest {
+		t.Error("expected at least one sentinel diagnostic inside a _test.go file")
+	}
+}

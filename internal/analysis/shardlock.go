@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ShardLock enforces the all-shard-lock discipline for rank-wide
+// maintenance (DESIGN.md §9–§10): operations that remap the layout or
+// walk the whole rank — boot scrub, degraded-mode entry/adoption, the
+// online-migration protocol, patrol scrub — may only be invoked from
+//
+//   - a function whose doc comment carries //chipkill:rankwide (its
+//     author asserts a rank-wide context: full quiescence, the
+//     single-supervisor loop, or the migration cursor's single-writer
+//     protocol), or
+//   - a function literal passed directly to (*engine.Engine).Quiesce,
+//     which holds every shard lock by construction.
+//
+// This catches the exact bug class the migration cursor was designed
+// around: a rank-wide operation fired from demand-path code that holds
+// one shard lock (or none) and races the other shards' view of the
+// layout.
+var ShardLock = &Analyzer{
+	Name:          "shardlock",
+	Doc:           "rank-wide maintenance operations only from //chipkill:rankwide functions or Quiesce sections",
+	SkipTestFiles: true,
+	Run:           runShardLock,
+}
+
+// rankWideMethods lists the policed operations as receiver-type/method
+// sets, matched by package-path suffix so testdata stub modules
+// exercise the analyzer without importing the real packages.
+var rankWideMethods = []struct {
+	pkgSuffix, typeName string
+	methods             map[string]bool
+}{
+	{"internal/core", "Controller", map[string]bool{
+		"BootScrub": true, "EnterDegradedMode": true, "AdoptDegradedMode": true,
+		"BeginMigration": true, "JoinMigration": true, "MigrateBand": true,
+		"RedoBand": true, "FinishMigration": true, "PatrolScrub": true,
+	}},
+	{"internal/engine", "Engine", map[string]bool{
+		"BootScrub": true, "EnterDegradedMode": true, "AdoptDegradedMode": true,
+		"BeginMigration": true, "MigrateBand": true,
+		"RedoBand": true, "FinishMigration": true, "PatrolScrub": true,
+	}},
+}
+
+// isRankWideOp reports whether fn is one of the policed operations.
+func isRankWideOp(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	for _, set := range rankWideMethods {
+		if set.methods[fn.Name()] && methodOn(fn, set.pkgSuffix, set.typeName, fn.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+// quiesceSpans returns the source ranges of function literals passed
+// directly to (*engine.Engine).Quiesce in file: code inside them runs
+// with every shard lock held.
+func quiesceSpans(pkg *Package, file *ast.File) [][2]token.Pos {
+	var spans [][2]token.Pos
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(pkg.Info, call)
+		if !methodOn(fn, "internal/engine", "Engine", "Quiesce") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+				spans = append(spans, [2]token.Pos{lit.Pos(), lit.End()})
+			}
+		}
+		return true
+	})
+	return spans
+}
+
+func inSpans(spans [][2]token.Pos, pos token.Pos) bool {
+	for _, sp := range spans {
+		if sp[0] <= pos && pos < sp[1] {
+			return true
+		}
+	}
+	return false
+}
+
+func runShardLock(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		spans := quiesceSpans(pass.Pkg, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(pass.Pkg.Info, call)
+			if !isRankWideOp(fn) {
+				return true
+			}
+			if inSpans(spans, call.Pos()) {
+				return true
+			}
+			if pass.Pkg.dirs.marked("rankwide", call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"rank-wide operation %s called outside a //chipkill:rankwide function or Quiesce section",
+				symbolKey(fn))
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"chipkillpm/internal/analysis"
+	"chipkillpm/internal/analysis/analysistest"
+)
+
+func TestShardLock(t *testing.T) {
+	analysistest.Run(t, "testdata/shardlock", analysis.ShardLock)
+}

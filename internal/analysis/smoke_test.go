@@ -1,0 +1,26 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"chipkillpm/internal/analysis"
+)
+
+// TestRepoClean runs the full chipkillvet suite over the repository
+// itself — the same invocation as `go run ./cmd/chipkillvet ./...` — and
+// requires a clean bill. Every intentional exception in the tree must
+// carry a //chipkill:allow with a reason; anything else is a contract
+// violation that has to be fixed, not suppressed here.
+func TestRepoClean(t *testing.T) {
+	suite := analysis.NewSuite(analysis.DefaultAnalyzers()...)
+	diags, err := suite.Run("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("chipkillvet found %d finding(s) in the repository", len(diags))
+	}
+}

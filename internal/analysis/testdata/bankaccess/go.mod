@@ -1,0 +1,3 @@
+module bankstub
+
+go 1.22

@@ -1,0 +1,41 @@
+// Package inject exercises the bankaccess analyzer: quiescence-class
+// chip mutations are only legal from Quiesce sections or
+// //chipkill:rankwide functions.
+package inject
+
+import (
+	"bankstub/internal/engine"
+	"bankstub/internal/nvram"
+	"bankstub/internal/rank"
+)
+
+// campaign mutates chips while the engine may be serving reads.
+func campaign(c *nvram.Chip, r *rank.Rank) {
+	c.Fail()             // want `quiescence-class chip mutation bankstub/internal/nvram.Chip.Fail called outside`
+	c.WearOutBit(0, 1, 2) // want `quiescence-class chip mutation bankstub/internal/nvram.Chip.WearOutBit called outside`
+	r.FailChip(0)        // want `quiescence-class chip mutation bankstub/internal/rank.Rank.FailChip called outside`
+	c.CloseBankRows(2)   // bank-scoped: legal anywhere
+}
+
+// harness runs strictly serially before the engine exists.
+//
+//chipkill:rankwide
+func harness(c *nvram.Chip, r *rank.Rank) {
+	c.Fail()
+	c.Repair()
+	r.InjectRetentionErrors(8)
+}
+
+// quiesced holds every shard lock inside the literal.
+func quiesced(e *engine.Engine, c *nvram.Chip) {
+	e.Quiesce(func() {
+		c.FlipDataBit(0, 0, 0)
+	})
+	c.FlipCodeBit(0, 0, 0) // want `quiescence-class chip mutation bankstub/internal/nvram.Chip.FlipCodeBit called outside`
+}
+
+// allowed uses the line-level escape hatch.
+func allowed(c *nvram.Chip) {
+	//chipkill:allow bankaccess serial unit harness, no concurrent readers
+	c.InjectRetentionErrors(1)
+}

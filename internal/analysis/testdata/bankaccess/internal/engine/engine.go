@@ -1,0 +1,7 @@
+// Package engine is a stub providing the Quiesce context recognised by
+// the bankaccess analyzer.
+package engine
+
+type Engine struct{}
+
+func (e *Engine) Quiesce(f func()) { f() }

@@ -1,0 +1,3 @@
+module directivestub
+
+go 1.22

@@ -1,0 +1,3 @@
+module noallocstub
+
+go 1.22

@@ -1,0 +1,14 @@
+// Package errs declares sentinel errors following the repo's ErrX
+// convention.
+package errs
+
+import "errors"
+
+var (
+	ErrUncorrectable = errors.New("uncorrectable block")
+	ErrChipFailed    = errors.New("chip failed")
+)
+
+// NotASentinel is error-typed but does not follow the Err prefix
+// convention; comparisons against it are not policed.
+var NotASentinel = errors.New("not a sentinel")

@@ -1,0 +1,3 @@
+module sentinelstub
+
+go 1.22

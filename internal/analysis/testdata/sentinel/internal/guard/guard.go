@@ -1,0 +1,16 @@
+// Package guard stubs the persistence-critical surface of the real
+// internal/guard for the sentinel analyzer's dropped-error checks.
+package guard
+
+type Journal struct{}
+
+func (j *Journal) AppendStart(epoch uint64) error { return nil }
+func (j *Journal) AppendBand(band int64) error    { return nil }
+func (j *Journal) AppendDone(epoch uint64) error  { return nil }
+
+type Supervisor struct{}
+
+func (s *Supervisor) Tick() error { return nil }
+
+// Health is not persistence-critical; dropping it is fine.
+func (s *Supervisor) Health() int { return 0 }

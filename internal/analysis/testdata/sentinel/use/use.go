@@ -1,0 +1,60 @@
+// Package use exercises the sentinel analyzer: identity comparison and
+// string matching against sentinels, and dropped persistence-critical
+// errors.
+package use
+
+import (
+	"errors"
+	"strings"
+
+	"sentinelstub/errs"
+	"sentinelstub/internal/guard"
+)
+
+func classify(err error) int {
+	if err == errs.ErrUncorrectable { // want `sentinel compared with ==: use errors.Is\(err, ErrUncorrectable\)`
+		return 1
+	}
+	if err != errs.ErrChipFailed { // want `sentinel compared with !=: use errors.Is\(err, ErrChipFailed\)`
+		return 2
+	}
+	if err.Error() == "chip failed" { // want `error matched by string comparison`
+		return 3
+	}
+	if strings.Contains(err.Error(), "uncorrectable") { // want `error matched by strings.Contains on Error\(\)`
+		return 4
+	}
+	switch err {
+	case errs.ErrChipFailed: // want `sentinel in switch case`
+		return 5
+	case nil:
+		return 0
+	}
+	return 6
+}
+
+// blessed shows the forms the analyzer wants instead.
+func blessed(err error) int {
+	if errors.Is(err, errs.ErrUncorrectable) {
+		return 1
+	}
+	if err == nil { // nil comparison is not a sentinel comparison
+		return 0
+	}
+	if err == errs.NotASentinel { // no Err prefix: not policed
+		return 2
+	}
+	return 3
+}
+
+func drops(j *guard.Journal, s *guard.Supervisor) error {
+	j.AppendStart(1)    // want `error from persistence-critical sentinelstub/internal/guard.Journal.AppendStart discarded`
+	_ = j.AppendDone(1) // want `error from persistence-critical sentinelstub/internal/guard.Journal.AppendDone assigned to _`
+	go s.Tick()         // want `error from persistence-critical sentinelstub/internal/guard.Supervisor.Tick discarded by go statement`
+	defer s.Tick()      // want `error from persistence-critical sentinelstub/internal/guard.Supervisor.Tick discarded by defer`
+	_ = s.Health()      // not persistence-critical
+	if err := j.AppendBand(7); err != nil {
+		return err
+	}
+	return j.AppendDone(2)
+}

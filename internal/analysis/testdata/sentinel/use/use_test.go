@@ -1,0 +1,24 @@
+package use
+
+import (
+	"errors"
+	"testing"
+
+	"sentinelstub/errs"
+)
+
+// Unlike the concurrency analyzers, sentinel applies inside _test.go
+// files too: a wrapped sentinel makes == silently pass failure paths.
+func TestWrappedSentinelStillMatches(t *testing.T) {
+	err := wrap(errs.ErrUncorrectable)
+	if err == errs.ErrUncorrectable { // want `sentinel compared with ==`
+		t.Fatal("identity comparison matched a wrapped error")
+	}
+	if !errors.Is(err, errs.ErrUncorrectable) {
+		t.Fatal("errors.Is must match the wrapped sentinel")
+	}
+}
+
+func wrap(err error) error {
+	return errors.Join(err)
+}

@@ -1,0 +1,3 @@
+module shardstub
+
+go 1.22

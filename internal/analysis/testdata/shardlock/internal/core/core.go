@@ -1,0 +1,11 @@
+// Package core is a stub of the real internal/core for the shardlock
+// analyzer's path-suffix matching.
+package core
+
+type Controller struct{}
+
+func (c *Controller) BootScrub() int           { return 0 }
+func (c *Controller) MigrateBand(band int) error { return nil }
+
+// ReadBlockInto is demand-path: not policed.
+func (c *Controller) ReadBlockInto(block int64, buf []byte) error { return nil }

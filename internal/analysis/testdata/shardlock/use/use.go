@@ -1,0 +1,46 @@
+// Package use exercises the shardlock analyzer: rank-wide maintenance
+// operations are only legal from //chipkill:rankwide functions or
+// function literals passed to (*engine.Engine).Quiesce.
+package use
+
+import (
+	"shardstub/internal/core"
+	"shardstub/internal/engine"
+)
+
+// demand is ordinary demand-path code: every rank-wide call here races
+// the other shards' view of the layout.
+func demand(e *engine.Engine, c *core.Controller) error {
+	c.BootScrub()          // want `rank-wide operation shardstub/internal/core.Controller.BootScrub called outside`
+	e.BootScrub()          // want `rank-wide operation shardstub/internal/engine.Engine.BootScrub called outside`
+	return c.MigrateBand(0) // want `rank-wide operation shardstub/internal/core.Controller.MigrateBand called outside`
+}
+
+// reads is demand-path too, but only calls unpoliced operations.
+func reads(e *engine.Engine, c *core.Controller, buf []byte) {
+	_ = e.ReadBlockInto(0, buf)
+	_ = c.ReadBlockInto(0, buf)
+}
+
+// boot runs before the engine accepts demand traffic.
+//
+//chipkill:rankwide
+func boot(e *engine.Engine, c *core.Controller) {
+	c.BootScrub()
+	e.BootScrub()
+}
+
+// quiesced shows the Quiesce-closure rule: inside the literal every
+// shard lock is held; the same call outside is flagged.
+func quiesced(e *engine.Engine, c *core.Controller) {
+	e.Quiesce(func() {
+		c.BootScrub()
+	})
+	c.BootScrub() // want `rank-wide operation shardstub/internal/core.Controller.BootScrub called outside`
+}
+
+// allowed uses the line-level escape hatch.
+func allowed(c *core.Controller) {
+	//chipkill:allow shardlock serial test harness, no engine running
+	c.BootScrub()
+}

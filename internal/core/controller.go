@@ -295,15 +295,20 @@ func (c *Controller) ReadBlock(block int64) ([]byte, error) {
 // chips copy straight into dst, the RS check runs one table-driven pass,
 // and all scratch lives in per-controller buffers or the decoder pool. On
 // error, dst's contents are unspecified.
+//
+//chipkill:noalloc
 func (c *Controller) ReadBlockInto(block int64, dst []byte) error {
 	if len(dst) != c.rank.Config().BlockBytes() {
+		//chipkill:allow noalloc caller bug, not a demand read
 		return fmt.Errorf("core: ReadBlockInto: got %d byte buffer, want %d", len(dst), c.rank.Config().BlockBytes())
 	}
 	if c.disabled[block] {
+		//chipkill:allow noalloc disabled-block error path is cold
 		return fmt.Errorf("block %d: %w", block, ErrBlockDisabled)
 	}
 	c.stats.Reads++
 	if c.blockStriped(block) {
+		//chipkill:allow noalloc striped reads gather via the migration scratch; only the original layout is on the zero-alloc contract
 		data, err := c.readDegraded(block)
 		if err != nil {
 			return err
@@ -340,6 +345,10 @@ func (c *Controller) readForInternalUse(block int64) ([]byte, error) {
 	return c.internalBuf, nil
 }
 
+// readCorrectedInto is the zero-alloc demand read body: raw fetch, RS
+// check, and only on failure the allocating correction machinery.
+//
+//chipkill:noalloc
 func (c *Controller) readCorrectedInto(dst []byte, block int64) error {
 	c.rank.ReadBlockRawInto(block, dst, c.readCheckBuf)
 	c.stats.BlockFetches++
@@ -349,6 +358,7 @@ func (c *Controller) readCorrectedInto(dst []byte, block int64) error {
 		c.stats.ReadsClean++
 		return nil
 	}
+	//chipkill:allow noalloc corrupted blocks leave the steady state; the decoder draws from its pool
 	corrections, err := c.rsCode.DecodeLimited(dst, c.readCheckBuf, c.cfg.Threshold)
 	if err == nil {
 		c.stats.ReadsRSCorrected++
@@ -360,6 +370,7 @@ func (c *Controller) readCorrectedInto(dst []byte, block int64) error {
 	}
 	// Threshold exceeded or RS-uncorrectable: VLEW fallback (Sec V-C).
 	c.stats.ReadsVLEWFallback++
+	//chipkill:allow noalloc VLEW fallback models extra device traffic; allocation is the least of its costs
 	return c.vlewCorrectBlockInto(dst, block)
 }
 

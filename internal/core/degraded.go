@@ -87,6 +87,8 @@ func (c *Controller) readRawDegraded(block int64) []byte {
 // performs the reconstruction itself when the chip is still marked
 // failed. Only a single data-chip failure is supported — a second failure
 // in a degraded rank is beyond the scheme, as in the paper.
+//
+//chipkill:rankwide
 func (c *Controller) EnterDegradedMode(failedChip int) error {
 	if c.degraded {
 		return fmt.Errorf("core: already degraded (chip %d): %w", c.failedChip, ErrChipFailed)

@@ -44,6 +44,8 @@ type scrubPartial struct {
 // Decoding VLEWs dominates the cost and runs without locks; only the
 // per-chip ReadVLEW/WriteVLEW accesses synchronise. The rebuild phase is
 // serial: it runs at most once per scrub and walks the whole rank.
+//
+//chipkill:rankwide
 func (c *Controller) BootScrub() ScrubReport {
 	var rep ScrubReport
 	var d Stats // batched counter delta, published under the stats lock
@@ -147,7 +149,10 @@ func (c *Controller) BootScrub() ScrubReport {
 // rebuildDataChip reconstructs every block's slice on a failed data chip
 // via RS erasure correction over the (already scrubbed) healthy chips and
 // parity chip, then writes the reconstructed contents into the repaired
-// device and re-encodes its VLEW code bits.
+// device and re-encodes its VLEW code bits. Runs only from BootScrub's
+// serial rebuild phase.
+//
+//chipkill:rankwide
 func (c *Controller) rebuildDataChip(ci int, rep *ScrubReport, d *Stats) {
 	r := c.rank
 	rcfg := r.Config()
@@ -182,7 +187,10 @@ func (c *Controller) rebuildDataChip(ci int, rep *ScrubReport, d *Stats) {
 
 // rebuildParityChip recomputes every block's RS check bytes from the
 // scrubbed data chips (Sec V-B: "the memory controller recalculates the
-// parity values in the parity chip").
+// parity values in the parity chip"). Runs only from BootScrub's serial
+// rebuild phase.
+//
+//chipkill:rankwide
 func (c *Controller) rebuildParityChip(rep *ScrubReport) {
 	r := c.rank
 	chip := r.Chip(r.ParityChipIndex())

@@ -121,6 +121,8 @@ func (e *Engine) shardOf(block int64) int {
 // ReadBlockInto reads one block into a caller-owned buffer of
 // BlockBytes(), running the controller's zero-allocation corrected read
 // under the owning shard's lock.
+//
+//chipkill:noalloc
 func (e *Engine) ReadBlockInto(block int64, dst []byte) error {
 	s := e.shards[e.shardOf(block)]
 	s.mu.Lock()

@@ -41,6 +41,8 @@ func (e *Engine) ProbeVLEW(chip, bank, row, v int) bool {
 // interleaves with demand traffic instead of quiescing it. During an
 // online migration the controllers pause patrol (position comes back
 // unchanged) and PatrolScrub returns early.
+//
+//chipkill:rankwide
 func (e *Engine) PatrolScrub(pos int64, count int) (next int64, corrected int64) {
 	for count > 0 {
 		p, run, sh := e.patrolRun(pos)
@@ -88,6 +90,8 @@ func (e *Engine) patrolRun(pos int64) (p, run int64, sh int) {
 // (resuming from a recovery journal) the call must complete before
 // demand traffic starts, since a shard that has not yet joined would
 // read already-striped blocks under the original layout.
+//
+//chipkill:rankwide
 func (e *Engine) BeginMigration(failedChip int, cursor int64) (*core.MigrationState, error) {
 	s0 := e.shards[0]
 	s0.mu.Lock()
@@ -113,6 +117,8 @@ func (e *Engine) BeginMigration(failedChip int, cursor int64) (*core.MigrationSt
 // drive this; demand traffic to every other bank proceeds concurrently,
 // and traffic to the band's own bank simply waits its turn on the shard
 // lock like any other operation.
+//
+//chipkill:rankwide
 func (e *Engine) MigrateBand(m *core.MigrationState, wal func(failedSlices []byte) error) error {
 	first := m.Cursor()
 	s := e.shards[e.shardOf(first)]
@@ -124,6 +130,8 @@ func (e *Engine) MigrateBand(m *core.MigrationState, wal func(failedSlices []byt
 
 // RedoBand replays a journaled band rewrite at the cursor during crash
 // recovery (see core.Controller.RedoBand).
+//
+//chipkill:rankwide
 func (e *Engine) RedoBand(m *core.MigrationState, failedSlices []byte) error {
 	first := m.Cursor()
 	s := e.shards[e.shardOf(first)]
@@ -137,6 +145,8 @@ func (e *Engine) RedoBand(m *core.MigrationState, failedSlices []byte) error {
 // of the rank, flipping each shard to plain degraded mode under its own
 // lock — safe without quiescence, since with the cursor at the end both
 // states route every block through the striped layout.
+//
+//chipkill:rankwide
 func (e *Engine) FinishMigration() error {
 	for _, s := range e.shards {
 		s.mu.Lock()
@@ -152,6 +162,8 @@ func (e *Engine) FinishMigration() error {
 // AdoptDegradedMode switches every shard to the degraded layout without
 // touching the chips — crash recovery after a journal records the
 // migration as complete, where the striped format is already on the rank.
+//
+//chipkill:rankwide
 func (e *Engine) AdoptDegradedMode(failedChip int) error {
 	for _, s := range e.shards {
 		s.mu.Lock()

@@ -151,6 +151,8 @@ type Supervisor struct {
 // migration flips the engine to the striped layout; one that records an
 // in-flight migration resumes it (redoing the possibly-torn last band
 // from its write-ahead image) before any demand traffic should start.
+//
+//chipkill:rankwide
 func New(eng *engine.Engine, region *Region, cfg Config) (*Supervisor, error) {
 	jrn, rec, err := Open(region)
 	if err != nil {
@@ -268,7 +270,10 @@ func (s *Supervisor) Run(n int) error {
 }
 
 // patrol drives the next patrol-scrub increment and journals the
-// position.
+// position. The supervisor is the single maintenance writer, so the
+// patrol cursor advances under its loop alone.
+//
+//chipkill:rankwide
 func (s *Supervisor) patrol() {
 	if s.cfg.PatrolUnits <= 0 {
 		return
@@ -347,6 +352,8 @@ func (s *Supervisor) probeTick() error {
 // convict delivers the chip-kill verdict: journal the migration start
 // and begin the online walk. A chip the scheme cannot migrate around
 // (the parity chip) parks the supervisor in StateWounded instead.
+//
+//chipkill:rankwide
 func (s *Supervisor) convict() error {
 	s.verdicts++
 	ci := s.suspect
@@ -370,6 +377,8 @@ func (s *Supervisor) convict() error {
 // migrateTick rewrites up to BandsPerTick bands, journaling each band's
 // write-ahead image before touching the rank, and completes the
 // migration when the cursor reaches the end.
+//
+//chipkill:rankwide
 func (s *Supervisor) migrateTick() error {
 	bb := s.eng.BandBlocks()
 	for i := 0; i < s.cfg.BandsPerTick && s.mig.Cursor() < s.eng.Blocks(); i++ {

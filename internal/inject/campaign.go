@@ -204,6 +204,10 @@ func (h *Harness) stats() core.Stats {
 	return h.ctrl.Stats()
 }
 
+// runBootScrub reboots through the scrub; the harness drives the rank
+// serially, so the rank-wide scan cannot race demand traffic.
+//
+//chipkill:rankwide
 func (h *Harness) runBootScrub() core.ScrubReport {
 	if h.eng != nil {
 		return h.eng.BootScrub()
@@ -211,6 +215,10 @@ func (h *Harness) runBootScrub() core.ScrubReport {
 	return h.ctrl.BootScrub()
 }
 
+// enterDegraded performs the stop-the-world transition from the serial
+// campaign loop.
+//
+//chipkill:rankwide
 func (h *Harness) enterDegraded(chip int) error {
 	if h.eng != nil {
 		return h.eng.EnterDegradedMode(chip)
@@ -381,7 +389,11 @@ func (h *Harness) sweep() {
 	}
 }
 
-// apply fires one scripted event.
+// apply fires one scripted event. Events run between workload steps on
+// the single campaign goroutine, so chip-level injections see a
+// quiescent rank.
+//
+//chipkill:rankwide
 func (h *Harness) apply(ev Event) {
 	switch ev.Kind {
 	case EvDrift:
@@ -425,7 +437,9 @@ func (h *Harness) resolveChip(chip int) int {
 }
 
 // applyFlips lands Event.Bits targeted single-bit faults inside committed
-// blocks, in the requested region.
+// blocks, in the requested region. Serial, like apply.
+//
+//chipkill:rankwide
 func (h *Harness) applyFlips(ev Event) {
 	rcfg := h.rank.Config()
 	n := rcfg.ChipAccessBytes
@@ -459,7 +473,10 @@ func (h *Harness) applyFlips(ev Event) {
 // crashReboot drops all volatile state (EURs drain in the chips'
 // power-fail window, per the paper's EUR design; the controller and its
 // counters are rebuilt cold), lets the outage accumulate drift, reboots
-// through BootScrub, and byte-verifies every committed block.
+// through BootScrub, and byte-verifies every committed block. The old
+// engine (if any) is discarded before the chips are touched.
+//
+//chipkill:rankwide
 func (h *Harness) crashReboot(ev Event) {
 	h.rank.CloseAllRows()
 	if h.eng != nil {

@@ -234,7 +234,10 @@ func (h *Harness) guardChipKillUnderLoad(sup *guard.Supervisor, spec GuardSpec) 
 // journal write mid-store (power loss), reboots onto a fresh engine and
 // supervisor over the surviving bytes, and requires recovery to resume
 // and complete the migration. Serial traffic through the oracle runs
-// before the crash and after recovery.
+// before the crash and after recovery; the reboot sequence (CloseAllRows
+// onward) runs with the worker pool already drained.
+//
+//chipkill:rankwide
 func (h *Harness) guardCrashDuringMigration(sup *guard.Supervisor, region *guard.Region, spec GuardSpec, cfg guard.Config) *guard.Supervisor {
 	g := h.rep.Guard
 	h.eng.Quiesce(func() { h.rank.FailChip(spec.KillChip) })

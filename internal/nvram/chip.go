@@ -231,6 +231,8 @@ func (c *Chip) ReadData(bank, row, off, n int) []byte {
 // off within the row — ReadData without the allocation, for the demand
 // read path. A failed chip fills dst with garbage (the rng draw is taken
 // under the chip mutex so concurrent shards keep the stream well-defined).
+//
+//chipkill:noalloc
 func (c *Chip) ReadDataInto(dst []byte, bank, row, off int) {
 	base := c.rowBase(bank, row)
 	if off < 0 || off+len(dst) > c.geom.RowDataBytes {

@@ -175,6 +175,8 @@ func (r *Rank) ReadBlockRaw(block int64) (data, check []byte) {
 // ReadBlockRawInto is ReadBlockRaw into caller-owned buffers — the
 // allocation-free demand read primitive. data must hold BlockBytes() and
 // check ChipAccessBytes.
+//
+//chipkill:noalloc
 func (r *Rank) ReadBlockRawInto(block int64, data, check []byte) {
 	n := r.cfg.ChipAccessBytes
 	if len(data) != r.cfg.BlockBytes() || len(check) != n {

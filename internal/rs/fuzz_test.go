@@ -2,6 +2,7 @@ package rs
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -113,7 +114,7 @@ func FuzzDecode(f *testing.F) {
 				t.Fatalf("e=%d: DecodeLimited applied %d corrections", e, len(corrs))
 			}
 		case e <= code.MaxErrors():
-			if err != ErrThreshold {
+			if !errors.Is(err, ErrThreshold) {
 				t.Fatalf("e=%d: DecodeLimited returned %v, want ErrThreshold", e, err)
 			}
 			if !bytes.Equal(d3, dIn) || !bytes.Equal(c3, cIn) {

@@ -243,9 +243,12 @@ func (c *Code) SyndromesHorner(data, check []byte) (gf.Poly, bool) {
 
 // Check reports whether data||check is a clean codeword: one LFSR pass and
 // an 8-byte compare on the fast path.
+//
+//chipkill:noalloc
 func (c *Code) Check(data, check []byte) bool {
 	c.validate(data, check)
 	if c.enc == nil {
+		//chipkill:allow noalloc table-less codes (r > 8) are never on the demand path
 		_, clean := c.SyndromesHorner(data, check)
 		return clean
 	}

@@ -1,6 +1,8 @@
 #!/bin/sh
 # check.sh — the gate a change must pass before it lands:
-#   vet + build + full tests (including the smoke fault campaigns and the
+#   vet (stock go vet plus the chipkillvet contract analyzers, plus
+#   pinned staticcheck/govulncheck when the network allows fetching
+#   them) + build + full tests (including the smoke fault campaigns and the
 #   checked-in fuzz seed corpora), race detector on the concurrent
 #   packages, a short coverage-guided fuzz pass over both decoders, the
 #   standard fault-injection campaign suite, and the kernel regression
@@ -18,6 +20,25 @@ quick=false
 
 echo "== go vet"
 go vet ./...
+
+echo "== chipkillvet (contract analyzers)"
+go run ./cmd/chipkillvet ./...
+
+# Third-party static analysis, pinned and fetched on demand. Offline
+# sandboxes (empty module cache, no proxy) skip them; CI always has the
+# network and runs both.
+STATICCHECK_VERSION=${STATICCHECK_VERSION:-2024.1.1}
+GOVULNCHECK_VERSION=${GOVULNCHECK_VERSION:-v1.1.3}
+if [ "${SKIP_THIRDPARTY_ANALYZERS:-}" = "1" ]; then
+	echo "== staticcheck/govulncheck skipped (SKIP_THIRDPARTY_ANALYZERS=1)"
+elif GOFLAGS= go run "honnef.co/go/tools/cmd/staticcheck@$STATICCHECK_VERSION" -version >/dev/null 2>&1; then
+	echo "== staticcheck ($STATICCHECK_VERSION)"
+	GOFLAGS= go run "honnef.co/go/tools/cmd/staticcheck@$STATICCHECK_VERSION" ./...
+	echo "== govulncheck ($GOVULNCHECK_VERSION)"
+	GOFLAGS= go run "golang.org/x/vuln/cmd/govulncheck@$GOVULNCHECK_VERSION" ./...
+else
+	echo "== staticcheck/govulncheck unavailable (offline module cache); skipping"
+fi
 
 echo "== go build"
 go build ./...
