@@ -9,6 +9,8 @@
 //	             persistence-critical errors
 //	bankaccess — quiescence-class nvram.Chip mutations only from
 //	             quiescent contexts
+//	seqlock    — seqlock-covered controller mutations only inside shard
+//	             writer sections; //chipkill:seqread functions stay pure
 //
 // Usage:
 //

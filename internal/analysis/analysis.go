@@ -19,6 +19,12 @@
 //	    the migration cursor's single-writer protocol): it may invoke the
 //	    rank-wide maintenance operations that the shardlock and
 //	    bankaccess analyzers police.
+//	//chipkill:seqread
+//	    The function runs on the engine's lock-free clean-read path,
+//	    between seqlock validation checks: the seqlock analyzer rejects
+//	    stores outside its locals/parameters and calls to anything but
+//	    sync/atomic, encoding/binary, builtins/conversions, and other
+//	    seqread functions.
 //	//chipkill:allow <analyzer> <reason>
 //	    False-positive escape hatch. On a function's doc comment it
 //	    silences <analyzer> for the whole function; on or immediately
@@ -112,9 +118,9 @@ func NewSuite(analyzers ...*Analyzer) *Suite {
 	}
 }
 
-// DefaultAnalyzers returns chipkillvet's four contract analyzers.
+// DefaultAnalyzers returns chipkillvet's five contract analyzers.
 func DefaultAnalyzers() []*Analyzer {
-	return []*Analyzer{NoAlloc, ShardLock, Sentinel, BankAccess}
+	return []*Analyzer{NoAlloc, ShardLock, Sentinel, BankAccess, Seqlock}
 }
 
 // AnalyzerNames returns the known analyzer names (for directive
@@ -202,7 +208,7 @@ type directive struct {
 	pos   token.Pos
 	line  int    // line the comment sits on
 	file  string // filename
-	verb  string // "noalloc", "rankwide", "allow"
+	verb  string // "noalloc", "rankwide", "seqread", "allow"
 	args  string // text after the verb
 	inDoc *ast.FuncDecl
 }
@@ -251,7 +257,7 @@ func parseDirectives(s *Suite, pkg *Package) *directives {
 				}
 				d.all = append(d.all, dir)
 				switch verb {
-				case "noalloc", "rankwide":
+				case "noalloc", "rankwide", "seqread":
 					if owner != nil {
 						marks := d.funcMarks[owner]
 						if marks == nil {
@@ -332,7 +338,7 @@ func (s *Suite) validateDirectives(pkg *Package) {
 	known := s.analyzerNames()
 	for _, dir := range pkg.dirs.all {
 		switch dir.verb {
-		case "noalloc", "rankwide":
+		case "noalloc", "rankwide", "seqread":
 			if dir.inDoc == nil {
 				s.reportAlways("directive", dir.pos,
 					fmt.Sprintf("//chipkill:%s must be part of a function declaration's doc comment", dir.verb))
@@ -352,7 +358,7 @@ func (s *Suite) validateDirectives(pkg *Package) {
 			}
 		default:
 			s.reportAlways("directive", dir.pos,
-				fmt.Sprintf("unknown directive //chipkill:%s (known: noalloc, rankwide, allow)", dir.verb))
+				fmt.Sprintf("unknown directive //chipkill:%s (known: noalloc, rankwide, seqread, allow)", dir.verb))
 		}
 	}
 }

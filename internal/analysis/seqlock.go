@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Seqlock enforces the engine's lock-free clean-read contract
+// (DESIGN.md §12) from both sides of the sequence counter:
+//
+// Writer side (odd-window store discipline): inside internal/engine,
+// every call to a controller operation that mutates seqlock-covered
+// state — chip data cells or the layout they are interpreted under —
+// must run inside a shard writer section. The analyzer accepts a call
+// that is lexically preceded by (*shard).lockWrite in the same function,
+// sits inside a function literal passed to (*engine.Engine).Quiesce
+// (which opens a writer section on every shard), or carries a
+// //chipkill:allow seqlock escape with a reason. This catches the exact
+// regression the seqlock made possible: a new engine method that takes
+// s.mu directly, mutates cells, and silently lets concurrent lock-free
+// readers consume half-applied state with an even sequence.
+//
+// Reader side (seqread purity): a function whose doc comment carries
+// //chipkill:seqread runs between sequence checks with no exclusion, so
+// it must not store anywhere except its own locals and parameters, and
+// may only call sync/atomic and encoding/binary, builtins and
+// conversions, or other //chipkill:seqread functions. Anything else —
+// a selector store, a locking call, fmt — would make the "reader" a
+// writer (or block it) where tearing is legal and retries are invisible.
+var Seqlock = &Analyzer{
+	Name:          "seqlock",
+	Doc:           "seqlock-covered mutations inside writer sections; //chipkill:seqread functions stay pure",
+	SkipTestFiles: true,
+	Run:           runSeqlock,
+}
+
+// seqlockMutators lists the controller operations that mutate state the
+// lock-free reader gathers (data cells, or the layout routing that
+// decides what those cells mean), matched by package-path suffix like
+// rankWideMethods. BeginMigration/JoinMigration are deliberately absent:
+// they only set controller routing state, which lock-free readers never
+// consult — readers learn about migrations through the engine's atomic
+// publication, before any band moves.
+var seqlockMutators = []struct {
+	pkgSuffix, typeName string
+	methods             map[string]bool
+}{
+	{"internal/core", "Controller", map[string]bool{
+		"WriteBlock": true, "WriteBlockInitial": true, "DisableBlock": true,
+		"BootScrub": true, "EnterDegradedMode": true, "AdoptDegradedMode": true,
+		"MigrateBand": true, "RedoBand": true, "FinishMigration": true,
+		"PatrolScrub": true,
+	}},
+}
+
+func isSeqlockMutator(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	for _, set := range seqlockMutators {
+		if set.methods[fn.Name()] && methodOn(fn, set.pkgSuffix, set.typeName, fn.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+func runSeqlock(pass *Pass) {
+	runSeqlockWriters(pass)
+	runSeqlockReaders(pass)
+}
+
+// ---- writer side ----
+
+// runSeqlockWriters checks the odd-window store discipline. It only
+// applies inside internal/engine: the shard seqlock is an engine
+// construct, and a standalone core.Controller (the serial harnesses) has
+// no lock-free readers to protect.
+func runSeqlockWriters(pass *Pass) {
+	if !pathHasSuffix(pass.Pkg.PkgPath, "internal/engine") {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		spans := quiesceSpans(pass.Pkg, file)
+		locks := lockWriteCalls(pass.Pkg, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(pass.Pkg.Info, call)
+			if !isSeqlockMutator(fn) {
+				return true
+			}
+			if inSpans(spans, call.Pos()) {
+				return true
+			}
+			if precededByLockWrite(pass.Pkg.dirs, locks, call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"seqlock-covered mutation %s called outside a shard writer section (no preceding lockWrite, not in a Quiesce section)",
+				symbolKey(fn))
+			return true
+		})
+	}
+}
+
+// lockWriteCalls returns the positions of (*shard).lockWrite calls in
+// file, in source order.
+func lockWriteCalls(pkg *Package, file *ast.File) []token.Pos {
+	var locks []token.Pos
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if methodOn(calleeOf(pkg.Info, call), "internal/engine", "shard", "lockWrite") {
+			locks = append(locks, call.Pos())
+		}
+		return true
+	})
+	return locks
+}
+
+// precededByLockWrite reports whether some lockWrite call sits between
+// the start of pos's enclosing function and pos itself. Lexical order is
+// the right approximation here: every writer section in the engine is a
+// straight lockWrite ... unlockWrite bracket within one function, and a
+// mutator above its lockWrite is exactly the bug being policed.
+func precededByLockWrite(dirs *directives, locks []token.Pos, pos token.Pos) bool {
+	fd := dirs.enclosingFunc(pos)
+	if fd == nil {
+		return false
+	}
+	for _, l := range locks {
+		if fd.Pos() <= l && l < pos {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- reader side ----
+
+// runSeqlockReaders checks //chipkill:seqread purity in every target
+// package.
+func runSeqlockReaders(pass *Pass) {
+	marks := seqreadMarks(pass.Suite)
+	for fd, verbs := range pass.Pkg.dirs.funcMarks {
+		if !verbs["seqread"] || fd.Body == nil {
+			continue
+		}
+		checkSeqreadBody(pass, fd, marks)
+	}
+}
+
+// seqreadMarks collects the symbol keys of every //chipkill:seqread
+// function across the suite, so cross-package reader chains (engine →
+// rs → gf tables) resolve without package-local bookkeeping.
+func seqreadMarks(s *Suite) map[string]bool {
+	marks := map[string]bool{}
+	for _, pkg := range s.pkgs {
+		if pkg.dirs == nil {
+			continue
+		}
+		for fd, verbs := range pkg.dirs.funcMarks {
+			if !verbs["seqread"] {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				marks[symbolKey(fn)] = true
+			}
+		}
+	}
+	return marks
+}
+
+func checkSeqreadBody(pass *Pass, fd *ast.FuncDecl, marks map[string]bool) {
+	info := pass.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkSeqreadStore(pass, fd, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkSeqreadStore(pass, fd, n.X)
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "seqread function %s starts a goroutine", fd.Name.Name)
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "seqread function %s defers (hidden control flow on the validated path)", fd.Name.Name)
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "seqread function %s sends on a channel", fd.Name.Name)
+		case *ast.CallExpr:
+			checkSeqreadCall(pass, fd, marks, info, n)
+		}
+		return true
+	})
+}
+
+// checkSeqreadStore flags stores whose target is not rooted at a local
+// variable or parameter of the function, or that reach their root
+// through a field or pointer dereference (which would mutate shared
+// state even when the root is a local pointer).
+func checkSeqreadStore(pass *Pass, fd *ast.FuncDecl, lhs ast.Expr) {
+	expr := lhs
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.Ident:
+			if e.Name == "_" {
+				return
+			}
+			if v, ok := pass.Pkg.Info.ObjectOf(e).(*types.Var); ok &&
+				fd.Pos() <= v.Pos() && v.Pos() <= fd.End() {
+				return // local, parameter, or receiver of this function
+			}
+			pass.Reportf(lhs.Pos(),
+				"seqread function %s stores outside its locals and parameters", fd.Name.Name)
+			return
+		default:
+			// SelectorExpr, StarExpr, slice of a field, ...
+			pass.Reportf(lhs.Pos(),
+				"seqread function %s stores through a field or dereference", fd.Name.Name)
+			return
+		}
+	}
+}
+
+// checkSeqreadCall enforces the callee whitelist: sync/atomic and
+// encoding/binary (pure or validated-by-design), builtins and type
+// conversions, and other //chipkill:seqread functions.
+func checkSeqreadCall(pass *Pass, fd *ast.FuncDecl, marks map[string]bool, info *types.Info, call *ast.CallExpr) {
+	fn := calleeOf(info, call)
+	if fn == nil {
+		// Conversion, builtin, or a dynamic call we cannot resolve.
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return // conversion
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, ok := info.Uses[id].(*types.Builtin); ok {
+				return
+			}
+		}
+		pass.Reportf(call.Pos(),
+			"seqread function %s makes a dynamic call (cannot verify purity)", fd.Name.Name)
+		return
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		switch pkg.Path() {
+		case "sync/atomic", "encoding/binary":
+			return
+		}
+	}
+	if marks[symbolKey(fn)] {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"seqread function %s calls %s, which is not marked //chipkill:seqread",
+		fd.Name.Name, symbolKey(fn))
+}

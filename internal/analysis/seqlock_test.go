@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"chipkillpm/internal/analysis"
+	"chipkillpm/internal/analysis/analysistest"
+)
+
+func TestSeqlock(t *testing.T) {
+	analysistest.Run(t, "testdata/seqlock", analysis.Seqlock)
+}

@@ -1,0 +1,3 @@
+module seqstub
+
+go 1.22

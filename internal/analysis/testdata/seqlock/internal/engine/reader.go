@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+
+	"seqstub/internal/rs"
+)
+
+var fallbacks atomic.Int64
+
+// readFast is a well-formed seqread reader: stores only to locals and
+// parameters, calls only sync/atomic, encoding/binary, builtins,
+// conversions, and other seqread functions (including cross-package).
+//
+//chipkill:seqread
+func (e *Engine) readFast(s *shard, block int64, dst []byte) bool {
+	s1 := s.seq.Load()
+	if s1&1 != 0 {
+		fallbacks.Add(1)
+		return false
+	}
+	for i := 0; i+8 <= len(dst); i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:], uint64(block))
+	}
+	if !rs.CheckStub(dst) || !localCheck(dst) {
+		return false
+	}
+	return s.seq.Load() == s1
+}
+
+// localCheck is reachable from seqread code, so it is marked too.
+//
+//chipkill:seqread
+func localCheck(b []byte) bool { return len(b) > 0 }
+
+var hits int64
+
+// badReader violates each reader rule in turn.
+//
+//chipkill:seqread
+func (e *Engine) badReader(s *shard, dst []byte) bool {
+	hits++                          // want `seqread function badReader stores outside its locals and parameters`
+	s.ctrl = nil                    // want `seqread function badReader stores through a field or dereference`
+	helper()                        // want `seqread function badReader calls seqstub/internal/engine.helper, which is not marked //chipkill:seqread`
+	defer atomic.AddInt64(&hits, 1) // want `seqread function badReader defers`
+	go atomic.AddInt64(&hits, 1)    // want `seqread function badReader starts a goroutine`
+	var f func()
+	f = helper
+	f() // want `seqread function badReader makes a dynamic call`
+	return true
+}
+
+func helper() {}

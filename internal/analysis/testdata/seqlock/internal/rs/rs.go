@@ -1,0 +1,8 @@
+// Package rs stubs the cross-package leg of the seqread chain: the real
+// reader calls into internal/rs, whose checker carries its own mark.
+package rs
+
+// CheckStub stands in for the RS syndrome check.
+//
+//chipkill:seqread
+func CheckStub(data []byte) bool { return len(data) != 0 }

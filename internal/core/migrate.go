@@ -60,6 +60,8 @@ func NewMigrationState(failedChip int, cursor int64) *MigrationState {
 
 // Cursor returns the first unmigrated block: blocks below it are in the
 // striped layout, blocks at or above it in the original one.
+//
+//chipkill:seqread
 func (m *MigrationState) Cursor() int64 { return m.cursor.Load() }
 
 // FailedChip returns the data chip being retired.

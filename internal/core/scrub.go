@@ -158,7 +158,7 @@ func (c *Controller) rebuildDataChip(ci int, rep *ScrubReport, d *Stats) {
 	rcfg := r.Config()
 	n := rcfg.ChipAccessBytes
 	chip := r.Chip(ci)
-	chip.Repair()
+	r.RepairChip(ci)
 
 	erasures := make([]int, n)
 	for i := 0; i < n; i++ {
@@ -194,7 +194,7 @@ func (c *Controller) rebuildDataChip(ci int, rep *ScrubReport, d *Stats) {
 func (c *Controller) rebuildParityChip(rep *ScrubReport) {
 	r := c.rank
 	chip := r.Chip(r.ParityChipIndex())
-	chip.Repair()
+	r.RepairChip(r.ParityChipIndex())
 	for b := int64(0); b < r.Blocks(); b++ {
 		data, _ := r.ReadBlockRaw(b)
 		rep.BusBlockFetches++

@@ -1,0 +1,14 @@
+package cpu
+
+// CacheLineBytes is the coherence granule the concurrency-sensitive
+// structures in this repository pad to. 64 B covers every platform the
+// model runs on (x86-64, arm64 with 64 B lines; Apple silicon's 128 B
+// lines tolerate 64 B padding with at worst one neighbour pair).
+const CacheLineBytes = 64
+
+// CacheLinePad is a full cache line of padding. Embed one between fields
+// that are written by different cores — e.g. a shard's mutex/seqlock word
+// and its lock-free read counters — so a store to one never invalidates
+// the other's line. Using the shared constant keeps every padded struct
+// in agreement instead of hand-tuning `_ [40]byte` per site.
+type CacheLinePad struct{ _ [CacheLineBytes]byte }

@@ -95,21 +95,44 @@ func (e *Engine) WriteBlocks(blocks []int64, data [][]byte, errs []error) int {
 	return e.runBatch(opWrite, blocks, data, errs)
 }
 
-// runGroup executes one shard's slice of the batch under its lock. It is
+// runGroup executes one shard's slice of the batch. Reads go through the
+// seqlock fast path per operation (each op needs its own sequence
+// validation window) with a per-op locked fallback; writes open one
+// writer section for the whole group — one mutex handoff and one pair of
+// sequence bumps amortised over every write in the group, pipelining the
+// row-close EUR drains behind a single reader stand-down window. It is
 // the fan-out=1 inline path, so the read side stays allocation-free.
 //
 //chipkill:noalloc
-func runGroup(op batchOp, s *shard, idx []int32, blocks []int64, bufs [][]byte, errs []error) int {
+func (e *Engine) runGroup(op batchOp, s *shard, idx []int32, blocks []int64, bufs [][]byte, errs []error) int {
 	fails := 0
-	s.mu.Lock()
-	for _, i := range idx {
-		var err error
-		if op == opRead {
-			err = s.ctrl.ReadBlockInto(blocks[i], bufs[i])
-		} else {
-			//chipkill:allow noalloc writes go through OMV delta encoding, which is not on the zero-alloc contract
-			err = s.ctrl.WriteBlock(blocks[i], bufs[i])
+	if op == opRead {
+		fastN := int64(0)
+		for _, i := range idx {
+			var err error
+			if e.seqOK && e.readFast(s, blocks[i], bufs[i]) {
+				fastN++
+			} else {
+				s.mu.Lock()
+				err = s.ctrl.ReadBlockInto(blocks[i], bufs[i])
+				s.mu.Unlock()
+			}
+			if errs != nil {
+				errs[i] = err
+			}
+			if err != nil {
+				fails++
+			}
 		}
+		if fastN != 0 {
+			s.fastReads.Add(fastN)
+		}
+		return fails
+	}
+	s.lockWrite()
+	for _, i := range idx {
+		//chipkill:allow noalloc writes go through OMV delta encoding, which is not on the zero-alloc contract
+		err := s.ctrl.WriteBlock(blocks[i], bufs[i])
 		if errs != nil {
 			errs[i] = err
 		}
@@ -117,7 +140,7 @@ func runGroup(op batchOp, s *shard, idx []int32, blocks []int64, bufs [][]byte, 
 			fails++
 		}
 	}
-	s.mu.Unlock()
+	s.unlockWrite()
 	return fails
 }
 
@@ -137,7 +160,7 @@ func (e *Engine) runBatch(op batchOp, blocks []int64, bufs [][]byte, errs []erro
 			if len(idx) == 0 {
 				continue
 			}
-			fails += runGroup(op, e.shards[si], idx, blocks, bufs, errs)
+			fails += e.runGroup(op, e.shards[si], idx, blocks, bufs, errs)
 		}
 		return fails
 	}
@@ -151,7 +174,7 @@ func (e *Engine) runBatch(op batchOp, blocks []int64, bufs [][]byte, errs []erro
 		wg.Add(1)
 		go func(si int, idx []int32) {
 			defer wg.Done()
-			if n := runGroup(op, e.shards[si], idx, blocks, bufs, errs); n != 0 {
+			if n := e.runGroup(op, e.shards[si], idx, blocks, bufs, errs); n != 0 {
 				atomic.AddInt64(&fails, int64(n))
 			}
 		}(si, idx)

@@ -12,20 +12,26 @@
 //
 // Each shard owns the banks b with b % Shards == s and wraps its own
 // unmodified core.Controller view of the shared rank behind one striped
-// mutex. Striped mutexes were chosen over per-shard request channels: an
-// uncontended mutex handoff costs tens of nanoseconds and is
+// mutex. Writers still take that mutex; clean reads — the 99.98% case —
+// run lock-free under a per-shard seqlock and only park on the mutex when
+// a writer is inside, a revalidation fails, or the block needs the
+// correction machinery (see seqlock.go and DESIGN.md §12). Striped
+// mutexes were chosen over per-shard request channels for the locked
+// paths: an uncontended mutex handoff costs tens of nanoseconds and is
 // allocation-free, while a channel round trip costs several hundred
-// nanoseconds plus request/response envelopes — at the ~300 ns scale of
-// the clean-read path the channel tax would exceed the work being
-// dispatched. DESIGN.md §9 has the full argument and the ordering rules.
+// nanoseconds plus request/response envelopes. DESIGN.md §9 has the full
+// argument and the ordering rules.
 package engine
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"chipkillpm/internal/core"
+	"chipkillpm/internal/cpu"
 	"chipkillpm/internal/rank"
+	"chipkillpm/internal/rs"
 )
 
 // Config tunes the engine.
@@ -45,12 +51,37 @@ type Config struct {
 	// (still batched per shard, just on the caller's goroutine), larger
 	// values cap the fan-out.
 	BatchFanOut int
+	// DisableSeqlock forces every read through the shard mutex, exactly as
+	// before the lock-free clean-read path existed. For A/B comparison and
+	// for the serial-equivalence campaigns; the engine also disables the
+	// path on its own under the race detector, with
+	// WriteBackVLEWCorrections set (locked reads then mutate data cells),
+	// or on geometries without the paper's 8-byte chip access.
+	DisableSeqlock bool
 }
 
 type shard struct {
 	mu   sync.Mutex
 	ctrl *core.Controller
-	_    [40]byte // pad to a cache line so shard locks don't false-share
+	// seq is the shard's seqlock generation: odd while a writer is inside
+	// its critical section, even otherwise. Writers bump it on both edges
+	// under mu (see lockWrite/unlockWrite); lock-free readers bracket
+	// their gathers with two loads of it.
+	seq atomic.Uint64
+	// hasDisabled latches "some block on this shard has been retired".
+	// Set inside DisableBlock's writer section before the retirement is
+	// visible and never cleared, it lets the lock-free reader skip the
+	// controller's disabled-map lookup: shards that never retired a block
+	// (the steady state) stay on the fast path, shards that did fall back
+	// to the locked read, which consults the map.
+	hasDisabled atomic.Bool
+	_           cpu.CacheLinePad
+	// Lock-free read outcome counters, on their own cache line so reader
+	// cores bumping them don't invalidate the writers' mutex/seq line.
+	fastReads    atomic.Int64
+	seqRetries   atomic.Int64
+	seqFallbacks atomic.Int64
+	_            cpu.CacheLinePad
 }
 
 // Engine dispatches demand reads and writes across bank-sharded
@@ -68,6 +99,25 @@ type Engine struct {
 	bpr      int64 // blocks per row
 	fanout   int   // batch fan-out cap from Config; 0 = auto
 	planPool sync.Pool
+
+	// Lock-free clean-read support (seqlock.go). seqOK is decided once in
+	// New; when false every read takes the shard mutex as before.
+	seqOK       bool
+	rsCode      *rs.Code // engine-owned checker for the lock-free path
+	geo         fastGeom // precomputed block→cell-offset addressing
+	cells       [][]byte // per data chip backing arrays, in symbol order
+	parityCells []byte   // parity (check) chip backing array
+
+	// degraded latches "the rank is (or may be) in the striped degraded
+	// layout": set before any shard flips, never cleared. In that layout a
+	// raw original-layout gather reads striped bytes that could — rarely —
+	// still satisfy the RS check, which would be silent data corruption,
+	// so lock-free readers stand down permanently.
+	degraded atomic.Bool
+	// mig publishes the online-migration state to lock-free readers, set
+	// before the first band moves. Blocks below the cursor are striped and
+	// must take the locked path.
+	mig atomic.Pointer[core.MigrationState]
 }
 
 // New builds an engine over the rank. The rank must be quiescent (freshly
@@ -98,6 +148,21 @@ func New(r *rank.Rank, cfg Config) (*Engine, error) {
 		}
 		e.shards = append(e.shards, &shard{ctrl: ctrl})
 	}
+	cr := r.Config()
+	e.seqOK = seqlockCapable && !cfg.DisableSeqlock &&
+		!cfg.Core.WriteBackVLEWCorrections && cr.ChipAccessBytes == 8
+	if e.seqOK {
+		code, err := rs.New(cr.BlockBytes(), cr.ChipAccessBytes)
+		if err != nil {
+			return nil, fmt.Errorf("engine: sizing seqlock RS checker: %w", err)
+		}
+		e.rsCode = code
+		e.geo = newFastGeom(cr, r.Blocks())
+		for i := 0; i < cr.DataChips; i++ {
+			e.cells = append(e.cells, r.Chip(i).CellArray())
+		}
+		e.parityCells = r.Chip(r.ParityChipIndex()).CellArray()
+	}
 	return e, nil
 }
 
@@ -119,12 +184,19 @@ func (e *Engine) shardOf(block int64) int {
 }
 
 // ReadBlockInto reads one block into a caller-owned buffer of
-// BlockBytes(), running the controller's zero-allocation corrected read
-// under the owning shard's lock.
+// BlockBytes(). Clean reads are served lock-free through the shard's
+// seqlock; anything else — validation failures, retired blocks, degraded
+// or migrating layouts, blocks needing correction, sequence conflicts —
+// runs the controller's corrected read under the owning shard's lock,
+// with semantics identical to the always-locked engine.
 //
 //chipkill:noalloc
 func (e *Engine) ReadBlockInto(block int64, dst []byte) error {
 	s := e.shards[e.shardOf(block)]
+	if e.seqOK && e.readFast(s, block, dst) {
+		s.fastReads.Add(1)
+		return nil
+	}
 	s.mu.Lock()
 	err := s.ctrl.ReadBlockInto(block, dst)
 	s.mu.Unlock()
@@ -140,13 +212,13 @@ func (e *Engine) ReadBlock(block int64) ([]byte, error) {
 	return dst, nil
 }
 
-// WriteBlock writes one block through the OMV-XOR write path under the
-// owning shard's lock.
+// WriteBlock writes one block through the OMV-XOR write path inside the
+// owning shard's seqlock writer section.
 func (e *Engine) WriteBlock(block int64, data []byte) error {
 	s := e.shards[e.shardOf(block)]
-	s.mu.Lock()
+	s.lockWrite()
 	err := s.ctrl.WriteBlock(block, data)
-	s.mu.Unlock()
+	s.unlockWrite()
 	return err
 }
 
@@ -154,18 +226,22 @@ func (e *Engine) WriteBlock(block int64, data []byte) error {
 // used to populate memory.
 func (e *Engine) WriteBlockInitial(block int64, data []byte) error {
 	s := e.shards[e.shardOf(block)]
-	s.mu.Lock()
+	s.lockWrite()
 	err := s.ctrl.WriteBlockInitial(block, data)
-	s.mu.Unlock()
+	s.unlockWrite()
 	return err
 }
 
-// DisableBlock retires a worn-out block on its owning shard.
+// DisableBlock retires a worn-out block on its owning shard. The shard's
+// hasDisabled latch is set inside the writer section, before the
+// retirement takes effect, so no lock-free reader can serve the block
+// after this returns.
 func (e *Engine) DisableBlock(block int64) {
 	s := e.shards[e.shardOf(block)]
-	s.mu.Lock()
+	s.lockWrite()
+	s.hasDisabled.Store(true)
 	s.ctrl.DisableBlock(block)
-	s.mu.Unlock()
+	s.unlockWrite()
 }
 
 // BlockDisabled reports whether a block has been retired.
@@ -189,30 +265,45 @@ func (e *Engine) Stats() core.Stats {
 		snap := s.ctrl.Stats()
 		s.mu.Unlock()
 		total.Add(snap)
+		// Fold in the reads the seqlock path served without a controller.
+		// Each was exactly one clean block fetch, so the serial
+		// controller would have counted it in all three columns; the
+		// ReadsClean == Reads + OMVMisses bus identity is preserved.
+		fast := s.fastReads.Load()
+		total.Reads += fast
+		total.ReadsClean += fast
+		total.BlockFetches += fast
 	}
 	return total
 }
 
-// ResetStats zeroes every shard's counters.
+// ResetStats zeroes every shard's counters, including the seqlock
+// outcome counters.
 func (e *Engine) ResetStats() {
 	for _, s := range e.shards {
 		s.mu.Lock()
 		s.ctrl.ResetStats()
+		s.fastReads.Store(0)
+		s.seqRetries.Store(0)
+		s.seqFallbacks.Store(0)
 		s.mu.Unlock()
 	}
 }
 
-// Quiesce runs f with every shard lock held (in shard order, so nested
-// quiescence attempts would deadlock rather than interleave): no demand
-// operation runs concurrently with f. Rank-wide maintenance — fault
-// injection, wear-out events, row-close sweeps — must go through it.
+// Quiesce runs f with every shard writer section open (in shard order, so
+// nested quiescence attempts would deadlock rather than interleave): no
+// locked demand operation runs concurrently with f, and every lock-free
+// reader either observes an odd sequence and parks, or gathered under a
+// sequence that the bumps invalidate and discards its result. Rank-wide
+// maintenance — fault injection, wear-out events, row-close sweeps —
+// must go through it.
 func (e *Engine) Quiesce(f func()) {
 	for _, s := range e.shards {
-		s.mu.Lock()
+		s.lockWrite()
 	}
 	f()
 	for i := len(e.shards) - 1; i >= 0; i-- {
-		e.shards[i].mu.Unlock()
+		e.shards[i].unlockWrite()
 	}
 }
 
@@ -234,6 +325,9 @@ func (e *Engine) BootScrub() core.ScrubReport {
 func (e *Engine) EnterDegradedMode(failedChip int) error {
 	var err error
 	e.Quiesce(func() {
+		// Latch before the remap starts: even a failed or partial entry
+		// may have moved bytes, and the latch is deliberately one-way.
+		e.degraded.Store(true)
 		if err = e.shards[0].ctrl.EnterDegradedMode(failedChip); err != nil {
 			return
 		}

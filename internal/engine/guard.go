@@ -49,10 +49,13 @@ func (e *Engine) PatrolScrub(pos int64, count int) (next int64, corrected int64)
 		if run > int64(count) {
 			run = int64(count)
 		}
+		// Patrol write-backs repair data cells in place, so the run opens
+		// a writer section: racing lock-free readers of the same bank
+		// discard their gathers instead of consuming half-applied fixes.
 		s := e.shards[sh]
-		s.mu.Lock()
+		s.lockWrite()
 		np, f := s.ctrl.PatrolScrub(p, int(run))
-		s.mu.Unlock()
+		s.unlockWrite()
 		corrected += f
 		if np == p {
 			return p, corrected // paused mid-migration
@@ -100,6 +103,12 @@ func (e *Engine) BeginMigration(failedChip int, cursor int64) (*core.MigrationSt
 	if err != nil {
 		return nil, err
 	}
+	// Publish to lock-free readers before returning — no cells have moved
+	// yet (plain shard locks suffice above; Begin/Join only set controller
+	// state, which lock-free readers never consult), but once the caller
+	// holds m it may start migrating bands, and from then on every block
+	// below the cursor must stand down to the locked path.
+	e.mig.Store(m)
 	for _, s := range e.shards[1:] {
 		s.mu.Lock()
 		jerr := s.ctrl.JoinMigration(m)
@@ -122,9 +131,14 @@ func (e *Engine) BeginMigration(failedChip int, cursor int64) (*core.MigrationSt
 func (e *Engine) MigrateBand(m *core.MigrationState, wal func(failedSlices []byte) error) error {
 	first := m.Cursor()
 	s := e.shards[e.shardOf(first)]
-	s.mu.Lock()
+	// A band rewrite is the longest writer section in the system; the
+	// sequence bumps make racing lock-free readers of the band's bank
+	// park on the mutex rather than consume a half-rewritten band. The
+	// cursor advances inside the section, so by the time the sequence is
+	// even again the migrated blocks route to the locked striped path.
+	s.lockWrite()
 	err := s.ctrl.MigrateBand(first, wal)
-	s.mu.Unlock()
+	s.unlockWrite()
 	return err
 }
 
@@ -135,9 +149,9 @@ func (e *Engine) MigrateBand(m *core.MigrationState, wal func(failedSlices []byt
 func (e *Engine) RedoBand(m *core.MigrationState, failedSlices []byte) error {
 	first := m.Cursor()
 	s := e.shards[e.shardOf(first)]
-	s.mu.Lock()
+	s.lockWrite()
 	err := s.ctrl.RedoBand(first, failedSlices)
-	s.mu.Unlock()
+	s.unlockWrite()
 	return err
 }
 
@@ -148,10 +162,14 @@ func (e *Engine) RedoBand(m *core.MigrationState, failedSlices []byte) error {
 //
 //chipkill:rankwide
 func (e *Engine) FinishMigration() error {
+	// Latch degraded before any shard flips: lock-free readers must stop
+	// trusting original-layout gathers the moment the first controller
+	// starts routing every block through the striped layout.
+	e.degraded.Store(true)
 	for _, s := range e.shards {
-		s.mu.Lock()
+		s.lockWrite()
 		err := s.ctrl.FinishMigration()
-		s.mu.Unlock()
+		s.unlockWrite()
 		if err != nil {
 			return err
 		}
@@ -165,10 +183,14 @@ func (e *Engine) FinishMigration() error {
 //
 //chipkill:rankwide
 func (e *Engine) AdoptDegradedMode(failedChip int) error {
+	// Same one-way latch as FinishMigration: the striped format is
+	// already on the chips, so an original-layout gather that happened to
+	// satisfy the RS check would be silent corruption.
+	e.degraded.Store(true)
 	for _, s := range e.shards {
-		s.mu.Lock()
+		s.lockWrite()
 		err := s.ctrl.AdoptDegradedMode(failedChip)
-		s.mu.Unlock()
+		s.unlockWrite()
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,9 @@
+//go:build race
+
+package engine
+
+// seqlockCapable is false under the race detector: the seqlock's
+// validated-but-racy plain loads would be reported as races (see
+// seqlock_norace.go), so -race builds serve every read under the shard
+// mutex and the fast path compiles out.
+const seqlockCapable = false

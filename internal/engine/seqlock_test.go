@@ -1,0 +1,352 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"chipkillpm/internal/core"
+	"chipkillpm/internal/rank"
+)
+
+// checkVersioned verifies buf is a self-consistent fillBlock image of
+// block at *some* version — the whole point of the seqlock protocol is
+// that a reader may observe any committed version, but never a torn mix
+// of two. fillBlock xors version*131 into every byte, so the version
+// byte recovered from buf[0] must explain the rest of the block.
+func checkVersioned(buf []byte, block int64) error {
+	v := buf[0] ^ byte(block)
+	for i := range buf {
+		if buf[i] != byte(block>>uint(8*(i&7)))^v^byte(i) {
+			return fmt.Errorf("block %d: torn read (byte %d inconsistent with version byte %#x)", block, i, v)
+		}
+	}
+	return nil
+}
+
+// TestSeqlockTorture hammers the lock-free read path from readers that
+// deliberately cross into blocks other goroutines are writing: unlike
+// TestConcurrentShadow (which verifies exact per-owner versions), the
+// invariant here is atomicity — every read returns some committed
+// version in full, never a tear. Under -race the same workload runs
+// through the locked path and the detector audits the fallback story.
+func TestSeqlockTorture(t *testing.T) {
+	e := testEngine(t, 0, 0)
+	populate(t, e)
+	const (
+		writers = 4
+		readers = 4
+		ops     = 500
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers+readers)
+	stop := make(chan struct{})
+
+	version := make([]int, e.Blocks()) // owned slot per block, writers disjoint
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*277 + 1))
+			buf := make([]byte, e.BlockBytes())
+			for op := 0; op < ops; op++ {
+				b := int64(rng.Intn(int(e.Blocks())))
+				for b%writers != int64(w) { // disjoint ownership
+					b = int64(rng.Intn(int(e.Blocks())))
+				}
+				version[b]++
+				fillBlock(buf, b, version[b])
+				if err := e.WriteBlock(b, buf); err != nil {
+					errCh <- fmt.Errorf("writer %d block %d: %w", w, b, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)*991 + 7))
+			buf := make([]byte, e.BlockBytes())
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b := int64(rng.Intn(int(e.Blocks())))
+				if err := e.ReadBlockInto(b, buf); err != nil {
+					errCh <- fmt.Errorf("reader %d block %d: %w", r, b, err)
+					return
+				}
+				if err := checkVersioned(buf, b); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(r)
+	}
+	// Writers finish on their own; readers run until told to stop.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	<-done
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	st := e.Stats()
+	if st.Uncorrectable != 0 {
+		t.Fatalf("clean torture produced uncorrectables: %+v", st)
+	}
+	if st.ReadsClean != st.Reads+st.OMVMisses {
+		t.Fatalf("stats identity broken after torture: %+v", st)
+	}
+	if e.SeqlockEnabled() {
+		ss := e.SeqStats()
+		if ss.FastReads == 0 {
+			t.Fatalf("seqlock enabled but no read took the fast path: %+v", ss)
+		}
+		t.Logf("seqlock outcomes: %+v", ss)
+	}
+}
+
+// TestSeqlockTortureDuringMigration reruns the atomicity check across a
+// chip kill and a live band-by-band migration: FailChip's quiesce and
+// the migration cursor are both standing-down gates, so the fast path
+// must bow out rather than gather a failed chip's stale cells or a
+// band's half-moved layout.
+func TestSeqlockTortureDuringMigration(t *testing.T) {
+	e := testEngine(t, 0, 0)
+	populate(t, e)
+	const failed = 1
+	e.Quiesce(func() { e.rank.FailChip(failed) })
+	m, err := e.BeginMigration(failed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 4
+	stop := make(chan struct{})
+	errCh := make(chan error, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)*443 + 11))
+			buf := make([]byte, e.BlockBytes())
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b := int64(rng.Intn(int(e.Blocks())))
+				if err := e.ReadBlockInto(b, buf); err != nil {
+					errCh <- fmt.Errorf("reader %d block %d: %w", r, b, err)
+					return
+				}
+				if err := checkVersioned(buf, b); err != nil {
+					errCh <- fmt.Errorf("mid-migration %w", err)
+					return
+				}
+			}
+		}(r)
+	}
+	for m.Cursor() < e.Blocks() {
+		if err := e.MigrateBand(m, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.FinishMigration(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	// The degraded latch is one-way: no read after FinishMigration may
+	// take the fast path, whose addressing assumes the pristine layout.
+	before := e.SeqStats().FastReads
+	buf := make([]byte, e.BlockBytes())
+	for b := int64(0); b < e.Blocks(); b += 7 {
+		if err := e.ReadBlockInto(b, buf); err != nil {
+			t.Fatalf("post-migration read %d: %v", b, err)
+		}
+		if err := checkVersioned(buf, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := e.SeqStats().FastReads; after != before {
+		t.Fatalf("fast path served %d reads after migration flipped the layout", after-before)
+	}
+}
+
+// TestSeqlockDegradedEntryUnderReads flips EnterDegradedMode while
+// readers run: the sticky degraded latch is published before any layout
+// change, so no reader may return pre-flip bytes under the post-flip
+// layout (or vice versa — any committed version, whole, is the bar).
+func TestSeqlockDegradedEntryUnderReads(t *testing.T) {
+	e := testEngine(t, 0, 0)
+	populate(t, e)
+	const readers = 4
+	stop := make(chan struct{})
+	errCh := make(chan error, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)*97 + 3))
+			buf := make([]byte, e.BlockBytes())
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b := int64(rng.Intn(int(e.Blocks())))
+				if err := e.ReadBlockInto(b, buf); err != nil {
+					errCh <- fmt.Errorf("reader %d block %d: %w", r, b, err)
+					return
+				}
+				if err := checkVersioned(buf, b); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(r)
+	}
+	e.Quiesce(func() { e.rank.FailChip(2) })
+	if err := e.EnterDegradedMode(2); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if deg, chip := e.Degraded(); !deg || chip != 2 {
+		t.Fatalf("engine not degraded after EnterDegradedMode: %v %d", deg, chip)
+	}
+}
+
+// TestSeqlockReaderFallbackBound pins the starvation bound: a reader
+// arriving while a writer holds the shard never spins on the odd
+// sequence — it counts a fallback and parks on the mutex, completing as
+// soon as the writer leaves.
+func TestSeqlockReaderFallbackBound(t *testing.T) {
+	e := testEngine(t, 0, 0)
+	populate(t, e)
+	if !e.SeqlockEnabled() {
+		t.Skip("seqlock path disabled in this build (race detector)")
+	}
+	const block = 3
+	s := e.shards[e.shardOf(block)]
+	base := e.SeqStats().LockFallbacks
+
+	s.lockWrite()
+	done := make(chan error, 1)
+	buf := make([]byte, e.BlockBytes())
+	go func() {
+		done <- e.ReadBlockInto(block, buf)
+	}()
+	// The reader must observe the odd sequence, record the fallback, and
+	// block on the mutex — all without completing.
+	deadline := time.After(5 * time.Second)
+	for e.SeqStats().LockFallbacks == base {
+		select {
+		case err := <-done:
+			t.Fatalf("read completed (%v) while the writer section was held", err)
+		case <-deadline:
+			t.Fatal("reader never recorded a lock fallback")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("read completed (%v) while the writer section was held", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	s.unlockWrite()
+	if err := <-done; err != nil {
+		t.Fatalf("parked read failed after writer left: %v", err)
+	}
+	if err := checkVersioned(buf, block); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDisableSeqlock pins the escape hatch: Config.DisableSeqlock routes
+// every read through the mutex (SeqStats stays zero) with identical
+// results — the knob the equivalence campaigns and any future bisect of
+// a suspected seqlock bug depend on.
+func TestDisableSeqlock(t *testing.T) {
+	r, err := rank.New(rank.PaperConfig(4, 8, 1024, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(r, Config{Core: core.DefaultConfig(), DisableSeqlock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.SeqlockEnabled() {
+		t.Fatal("DisableSeqlock engine reports the fast path enabled")
+	}
+	populate(t, e)
+	buf := make([]byte, e.BlockBytes())
+	want := make([]byte, e.BlockBytes())
+	for b := int64(0); b < e.Blocks(); b += 5 {
+		if err := e.ReadBlockInto(b, buf); err != nil {
+			t.Fatal(err)
+		}
+		fillBlock(want, b, 0)
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("block %d: wrong data with seqlock disabled", b)
+		}
+	}
+	if ss := e.SeqStats(); ss != (SeqStats{}) {
+		t.Fatalf("disabled seqlock path recorded outcomes: %+v", ss)
+	}
+}
+
+// TestSeqlockServesCleanReads pins that on a quiet engine the fast path
+// serves every clean read — the perf claim depends on the gates standing
+// down only when they must.
+func TestSeqlockServesCleanReads(t *testing.T) {
+	e := testEngine(t, 0, 0)
+	populate(t, e)
+	if !e.SeqlockEnabled() {
+		t.Skip("seqlock path disabled in this build (race detector)")
+	}
+	e.ResetStats()
+	const n = 200
+	buf := make([]byte, e.BlockBytes())
+	for i := 0; i < n; i++ {
+		if err := e.ReadBlockInto(int64(i)%e.Blocks(), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ss := e.SeqStats()
+	if ss.FastReads != n {
+		t.Fatalf("fast path served %d of %d quiet clean reads (%+v)", ss.FastReads, n, ss)
+	}
+	st := e.Stats()
+	if st.Reads != n || st.ReadsClean != n || st.BlockFetches != n {
+		t.Fatalf("fast reads folded into stats wrong: %+v", st)
+	}
+}

@@ -56,6 +56,12 @@ type Campaign struct {
 	// which is exactly what the engine-mode tests assert.
 	EngineShards int `json:"engine_shards,omitempty"`
 
+	// EngineNoSeqlock forces the engine's lock-free clean-read path off
+	// (engine.Config.DisableSeqlock), so equivalence campaigns can pin
+	// that the seqlock path and the always-locked path report the exact
+	// same counters. Meaningless without EngineShards.
+	EngineNoSeqlock bool `json:"engine_no_seqlock,omitempty"`
+
 	// ProbeStatsDuringScrub spawns a goroutine hammering Controller.
 	// Stats while each BootScrub runs, exercising the documented stats
 	// concurrency contract (meaningful under -race).
@@ -162,7 +168,7 @@ func (h *Harness) ctrlCfg() core.Config {
 }
 
 func (h *Harness) engCfg() engine.Config {
-	return engine.Config{Shards: h.c.EngineShards, Core: h.ctrlCfg(), OMV: h.omv}
+	return engine.Config{Shards: h.c.EngineShards, Core: h.ctrlCfg(), OMV: h.omv, DisableSeqlock: h.c.EngineNoSeqlock}
 }
 
 // Controller exposes the live controller (it changes across crash events);

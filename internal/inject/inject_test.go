@@ -126,10 +126,13 @@ func TestCampaignDeterminism(t *testing.T) {
 }
 
 // TestEngineCampaignMatchesSerial pins the engine backend's semantics:
-// a campaign driven serially through the sharded engine must produce the
-// exact report — counter for counter — that the bare controller produces.
-// Same name and seed give identical rng streams; the only report fields
-// allowed to differ are the timing and the engine_shards tag itself.
+// a campaign driven serially through the sharded engine — with its
+// lock-free seqlock read path both enabled and disabled — must produce
+// the exact report, counter for counter, that the bare controller
+// produces. Same name and seed give identical rng streams; the only
+// report fields allowed to differ are the timing and the engine_shards
+// tag itself. Seqlock reads folding their stats differently from locked
+// reads would show up here as a counter diff.
 func TestEngineCampaignMatchesSerial(t *testing.T) {
 	c := Campaign{
 		Name: "engine-equivalence", Seed: 17,
@@ -145,6 +148,8 @@ func TestEngineCampaignMatchesSerial(t *testing.T) {
 	serial := RunCampaign("unit", c)
 	c.EngineShards = 4
 	engined := RunCampaign("unit", c)
+	c.EngineNoSeqlock = true
+	locked := RunCampaign("unit", c)
 
 	if !serial.Pass {
 		t.Fatalf("serial campaign failed: %s", serial.Reason)
@@ -152,18 +157,25 @@ func TestEngineCampaignMatchesSerial(t *testing.T) {
 	if !engined.Pass {
 		t.Fatalf("engine campaign failed: %s", engined.Reason)
 	}
+	if !locked.Pass {
+		t.Fatalf("engine (seqlock off) campaign failed: %s", locked.Reason)
+	}
 	if engined.SDC != 0 || engined.DUE != 0 {
 		t.Fatalf("engine campaign leaked: sdc=%d due=%d", engined.SDC, engined.DUE)
 	}
 	if engined.EngineShards != 4 {
 		t.Fatalf("engine report tagged with %d shards, want 4", engined.EngineShards)
 	}
-	serial.ElapsedMS, engined.ElapsedMS = 0, 0
-	serial.EngineShards, engined.EngineShards = 0, 0
+	serial.ElapsedMS, engined.ElapsedMS, locked.ElapsedMS = 0, 0, 0
+	serial.EngineShards, engined.EngineShards, locked.EngineShards = 0, 0, 0
 	js, _ := json.Marshal(serial)
 	je, _ := json.Marshal(engined)
+	jl, _ := json.Marshal(locked)
 	if string(js) != string(je) {
 		t.Fatalf("engine and serial backends diverged:\nserial: %s\nengine: %s", js, je)
+	}
+	if string(js) != string(jl) {
+		t.Fatalf("seqlock-off engine and serial backends diverged:\nserial: %s\nengine: %s", js, jl)
 	}
 }
 

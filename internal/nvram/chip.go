@@ -109,14 +109,23 @@ type Chip struct {
 	rng     *rand.Rand
 	failed  bool
 	openRow []int // per bank; -1 when closed
-	// EUR slots indexed bank*VLEWsPerRow+v. A slot's register is allocated
-	// lazily and kept zeroed whenever its eurSet flag is false, so draining
-	// is flag-test + XOR with no map churn and no cross-bank sharing.
-	eur     [][]byte
-	eurSet  []bool
-	rowWear []int64           // writes per row, for wear accounting
-	stuck   map[int]stuckCell // worn-out cells: writes cannot change them
-	stats   Stats
+	// EUR slots indexed bank*VLEWsPerRow+v. A slot accumulates the *raw
+	// data delta* of its open-row VLEW — not an encoded code update — and
+	// the chip runs the BCH encoder once when the slot drains at row close.
+	// BCH is linear, so encoding the accumulated delta equals XORing the
+	// per-write encodes, and the deferred scheme pays one EncodeDelta per
+	// drain instead of one per write. eurLo/eurHi bound the touched byte
+	// range so the drain encodes only what changed. A slot's register is
+	// allocated lazily and kept zeroed whenever its eurSet flag is false,
+	// so draining is flag-test + encode with no map churn and no
+	// cross-bank sharing.
+	eurDelta [][]byte
+	eurSet   []bool
+	eurLo    []int32
+	eurHi    []int32
+	rowWear  []int64           // writes per row, for wear accounting
+	stuck    map[int]stuckCell // worn-out cells: writes cannot change them
+	stats    Stats
 }
 
 // stuckCell describes permanently faulty bits of one cell byte: the bits
@@ -143,15 +152,17 @@ func NewChip(geom Geometry, enc *bch.Code, seed int64) (*Chip, error) {
 		}
 	}
 	c := &Chip{
-		geom:    geom,
-		enc:     enc,
-		cells:   make([]byte, int64(geom.Banks)*int64(geom.RowsPerBank)*int64(geom.RowTotalBytes())),
-		rng:     rand.New(rand.NewSource(seed)),
-		openRow: make([]int, geom.Banks),
-		eur:     make([][]byte, geom.EURRegisters()),
-		eurSet:  make([]bool, geom.EURRegisters()),
-		rowWear: make([]int64, geom.Banks*geom.RowsPerBank),
-		stuck:   make(map[int]stuckCell),
+		geom:     geom,
+		enc:      enc,
+		cells:    make([]byte, int64(geom.Banks)*int64(geom.RowsPerBank)*int64(geom.RowTotalBytes())),
+		rng:      rand.New(rand.NewSource(seed)),
+		openRow:  make([]int, geom.Banks),
+		eurDelta: make([][]byte, geom.EURRegisters()),
+		eurSet:   make([]bool, geom.EURRegisters()),
+		eurLo:    make([]int32, geom.EURRegisters()),
+		eurHi:    make([]int32, geom.EURRegisters()),
+		rowWear:  make([]int64, geom.Banks*geom.RowsPerBank),
+		stuck:    make(map[int]stuckCell),
 	}
 	for i := range c.openRow {
 		c.openRow[i] = -1
@@ -183,7 +194,17 @@ func (c *Chip) Stats() Stats {
 func (c *Chip) Healthy() bool { return !c.failed }
 
 // Fail marks the chip as failed: reads return garbage, writes are dropped.
+// Production code should go through Rank.FailChip, which additionally
+// maintains the rank's failed-chip count for the engine's lock-free read
+// gate; calling Fail directly leaves that count stale.
 func (c *Chip) Fail() { c.failed = true }
+
+// CellArray exposes the chip's backing cell array for lock-free readers.
+// The engine's seqlock-validated clean-read path gathers data bytes
+// straight from this slice between sequence checks; a torn read is
+// detected by the sequence re-check and retried, never consumed. Callers
+// must not write through the returned slice.
+func (c *Chip) CellArray() []byte { return c.cells }
 
 // Repair clears a chip failure (models replacing/remapping the device);
 // contents are zeroed, as a fresh device would be.
@@ -192,7 +213,7 @@ func (c *Chip) Repair() {
 	for i := range c.cells {
 		c.cells[i] = 0
 	}
-	for i, reg := range c.eur {
+	for i, reg := range c.eurDelta {
 		zeroBytes(reg)
 		c.eurSet[i] = false
 	}
@@ -311,23 +332,66 @@ func (c *Chip) applyCodeDelta(bank, row, off int, delta []byte, coalesce bool) {
 		if n > len(delta) {
 			n = len(delta)
 		}
-		update := c.enc.EncodeDelta(delta[:n], inOff*8)
 		if coalesce {
+			// Defer the encode: accumulate the raw data delta and widen
+			// the touched range. One EncodeDelta over the accumulated
+			// delta at drain time equals the XOR of the per-write
+			// encodes (BCH linearity), at a fraction of the cost.
 			idx := c.eurIndex(bank, v)
-			reg := c.eur[idx]
+			reg := c.eurDelta[idx]
 			if reg == nil {
-				reg = make([]byte, c.enc.ParityBytes())
-				c.eur[idx] = reg
+				reg = make([]byte, c.geom.VLEWDataBytes)
+				c.eurDelta[idx] = reg
 			}
-			c.enc.XORParity(reg, update)
-			c.eurSet[idx] = true
+			gf.XORBytes(reg[inOff:inOff+n], delta[:n])
+			if !c.eurSet[idx] {
+				c.eurSet[idx] = true
+				c.eurLo[idx], c.eurHi[idx] = int32(inOff), int32(inOff+n)
+			} else {
+				if int32(inOff) < c.eurLo[idx] {
+					c.eurLo[idx] = int32(inOff)
+				}
+				if int32(inOff+n) > c.eurHi[idx] {
+					c.eurHi[idx] = int32(inOff + n)
+				}
+			}
 		} else {
+			update := c.enc.EncodeDelta(delta[:n], inOff*8)
 			gf.XORBytes(c.vlewCode(bank, row, v), update)
 			atomic.AddInt64(&c.stats.VLEWCodeWrites, 1)
 		}
 		delta = delta[n:]
 		off += n
 	}
+}
+
+// drainSlot folds one armed EUR slot into its VLEW's stored code bits:
+// a single EncodeDelta over the slot's accumulated raw delta, XORed into
+// the array. Counts one VLEWCodeWrites event per drain regardless of chip
+// health (a failed chip still "performs" the array write; it just has no
+// effect), exactly as the per-slot drain always has. The caller must hold
+// whatever exclusion the access path requires and must have checked
+// eurSet[idx].
+func (c *Chip) drainSlot(idx, bank, row, v int) {
+	reg := c.eurDelta[idx]
+	lo, hi := int(c.eurLo[idx]), int(c.eurHi[idx])
+	if !c.failed {
+		update := c.enc.EncodeDelta(reg[lo:hi], lo*8)
+		gf.XORBytes(c.vlewCode(bank, row, v), update)
+	}
+	atomic.AddInt64(&c.stats.VLEWCodeWrites, 1)
+	zeroBytes(reg[lo:hi])
+	c.eurSet[idx] = false
+}
+
+// clearSlot discards one EUR slot's pending delta without draining it
+// (the slot's VLEW is about to be overwritten wholesale).
+func (c *Chip) clearSlot(idx int) {
+	if !c.eurSet[idx] {
+		return
+	}
+	zeroBytes(c.eurDelta[idx][c.eurLo[idx]:c.eurHi[idx]])
+	c.eurSet[idx] = false
 }
 
 // vlewCode returns the stored code-bit slice for a VLEW (aliases cells).
@@ -368,12 +432,7 @@ func (c *Chip) CloseRow(bank int) {
 		if !c.eurSet[idx] {
 			continue
 		}
-		if !c.failed {
-			gf.XORBytes(c.vlewCode(bank, row, v), c.eur[idx])
-		}
-		atomic.AddInt64(&c.stats.VLEWCodeWrites, 1)
-		zeroBytes(c.eur[idx])
-		c.eurSet[idx] = false
+		c.drainSlot(idx, bank, row, v)
 	}
 	c.openRow[bank] = -1
 	atomic.AddInt64(&c.stats.RowCloses, 1)
@@ -409,10 +468,7 @@ func (c *Chip) ReadVLEW(bank, row, v int) (data, code []byte) {
 	if c.openRow[bank] == row {
 		idx := c.eurIndex(bank, v)
 		if c.eurSet[idx] {
-			gf.XORBytes(c.vlewCode(bank, row, v), c.eur[idx])
-			atomic.AddInt64(&c.stats.VLEWCodeWrites, 1)
-			zeroBytes(c.eur[idx])
-			c.eurSet[idx] = false
+			c.drainSlot(idx, bank, row, v)
 		}
 	}
 	copy(data, c.cells[base+v*c.geom.VLEWDataBytes:])
@@ -434,9 +490,7 @@ func (c *Chip) WriteVLEW(bank, row, v int, data, code []byte) {
 	if c.failed {
 		return
 	}
-	idx := c.eurIndex(bank, v)
-	zeroBytes(c.eur[idx])
-	c.eurSet[idx] = false
+	c.clearSlot(c.eurIndex(bank, v))
 	copy(c.cells[base+v*c.geom.VLEWDataBytes:], data)
 	c.applyStuck(base+v*c.geom.VLEWDataBytes, len(data))
 	copy(c.vlewCode(bank, row, v), code)

@@ -1,0 +1,67 @@
+package nvram
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestEURDeferredDrainMatchesImmediate is the differential pin for the
+// raw-delta EUR: accumulating many XOR deltas and paying one EncodeDelta
+// at row close must leave byte-identical cells and code bits to draining
+// after every single write. BCH encoding is linear, so
+// Encode(d1 ^ d2) == Encode(d1) ^ Encode(d2) — this test is what keeps
+// that assumption honest if the encoder ever grows a nonlinear step.
+func TestEURDeferredDrainMatchesImmediate(t *testing.T) {
+	deferred := newTestChip(t)
+	immediate := newTestChip(t)
+	rng := rand.New(rand.NewSource(77))
+
+	// Random-width deltas at random offsets, revisiting rows and VLEWs so
+	// the accumulated registers see overlapping and disjoint ranges (the
+	// lo/hi touched-range bookkeeping has to merge both).
+	type w struct {
+		bank, row, off int
+		delta          []byte
+	}
+	var writes []w
+	for i := 0; i < 200; i++ {
+		n := 1 + rng.Intn(64)
+		wr := w{
+			bank:  rng.Intn(testGeom.Banks),
+			row:   rng.Intn(4), // few rows: force revisits and implicit closes
+			off:   rng.Intn(testGeom.RowDataBytes - 64),
+			delta: make([]byte, n),
+		}
+		rng.Read(wr.delta)
+		writes = append(writes, wr)
+	}
+	for _, wr := range writes {
+		deferred.WriteXOR(wr.bank, wr.row, wr.off, wr.delta)
+
+		immediate.WriteXOR(wr.bank, wr.row, wr.off, wr.delta)
+		immediate.CloseRow(wr.bank) // drain after every write
+	}
+	deferred.CloseAllRows()
+	immediate.CloseAllRows()
+
+	if !bytes.Equal(deferred.CellArray(), immediate.CellArray()) {
+		t.Fatal("deferred and immediate EUR drains left different data cells")
+	}
+	for bank := 0; bank < testGeom.Banks; bank++ {
+		for row := 0; row < 4; row++ {
+			for v := 0; v < testGeom.VLEWsPerRow(); v++ {
+				dc := deferred.ReadCode(bank, row, v)
+				ic := immediate.ReadCode(bank, row, v)
+				if !bytes.Equal(dc, ic) {
+					t.Fatalf("bank %d row %d vlew %d: deferred code differs from immediate", bank, row, v)
+				}
+			}
+		}
+	}
+	// The whole point of deferring: strictly fewer code writes for the
+	// same final state.
+	if d, i := deferred.Stats().VLEWCodeWrites, immediate.Stats().VLEWCodeWrites; d >= i {
+		t.Fatalf("deferred drain did not coalesce: %d code writes vs %d immediate", d, i)
+	}
+}

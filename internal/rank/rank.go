@@ -11,6 +11,7 @@ package rank
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"chipkillpm/internal/bch"
 	"chipkillpm/internal/nvram"
@@ -97,6 +98,15 @@ type Rank struct {
 	cfg    Config
 	chips  []*nvram.Chip // data chips; index 0..DataChips-1
 	parity *nvram.Chip   // index DataChips in chip-indexed APIs
+
+	// failedChips counts chips currently marked failed. It is maintained
+	// by FailChip/RepairChip (the only production paths that change chip
+	// health) and read atomically by the engine's lock-free clean-read
+	// gate: a failed chip's stored cells may still look like a valid
+	// codeword, so raw-array readers must stand down the moment any chip
+	// is unhealthy and let the locked correction path model the garbage
+	// the failed device actually returns.
+	failedChips atomic.Int32
 }
 
 // New builds the rank, creating fresh zeroed chips.
@@ -263,8 +273,32 @@ func (r *Rank) InjectRetentionErrors(rber float64) int {
 	return total
 }
 
-// FailChip marks a chip (data or parity) as failed.
-func (r *Rank) FailChip(i int) { r.Chip(i).Fail() }
+// FailChip marks a chip (data or parity) as failed. Always fail chips
+// through the rank (not nvram.Chip.Fail directly) so the failed-chip
+// count the lock-free read gate consults stays accurate.
+func (r *Rank) FailChip(i int) {
+	c := r.Chip(i)
+	if c.Healthy() {
+		r.failedChips.Add(1)
+	}
+	c.Fail()
+}
+
+// RepairChip clears a chip failure through the rank, keeping the
+// failed-chip count accurate; the boot scrub's chip rebuild uses it.
+func (r *Rank) RepairChip(i int) {
+	c := r.Chip(i)
+	if !c.Healthy() {
+		r.failedChips.Add(-1)
+	}
+	c.Repair()
+}
+
+// FailedChips returns the number of chips currently marked failed. It is
+// a single atomic load, safe from the engine's lock-free read path.
+//
+//chipkill:seqread
+func (r *Rank) FailedChips() int { return int(r.failedChips.Load()) }
 
 // HealthyChips returns the indices of healthy chips (including parity).
 func (r *Rank) HealthyChips() []int {

@@ -259,6 +259,26 @@ func (c *Code) Check(data, check []byte) bool {
 	return rem == 0
 }
 
+// CheckWord reports whether data forms a clean codeword with its check
+// bytes packed little-endian into w — Check for callers that hold the
+// stored check region as one 64-bit word. Only codes with exactly eight
+// check symbols and encoder tables support it (the demand path's
+// RS(72,64) qualifies); anything else panics. The panics use plain
+// strings because the engine's seqlock-validated reader calls this
+// between sequence checks and must stay free of impure calls.
+//
+//chipkill:noalloc
+//chipkill:seqread
+func (c *Code) CheckWord(data []byte, w uint64) bool {
+	if c.enc == nil || c.r != 8 {
+		panic("rs: CheckWord requires an 8-check-symbol code with encoder tables")
+	}
+	if len(data) != c.k {
+		panic("rs: CheckWord data length mismatch")
+	}
+	return c.enc.remainder(data) == w
+}
+
 func (c *Code) validate(data, check []byte) {
 	if len(data) != c.k || len(check) != c.r {
 		panic(fmt.Sprintf("rs: got %d data and %d check bytes, want %d and %d",

@@ -66,6 +66,8 @@ func (c *Code) buildEncTables() *encTables {
 
 // step advances the division register by one symbol, highest degree first:
 // state = (state*x + d*x^r) mod g.
+//
+//chipkill:seqread
 func (e *encTables) step(state uint64, d byte) uint64 {
 	fb := byte(state>>e.topSh) ^ d
 	return state<<8&e.mask ^ e.fb[fb]
@@ -74,6 +76,8 @@ func (e *encTables) step(state uint64, d byte) uint64 {
 // remainder returns data(x)*x^r mod g packed into a uint64, where data byte
 // j is the coefficient of x^j. Leading zero bytes are skipped: they cannot
 // move a zero register.
+//
+//chipkill:seqread
 func (e *encTables) remainder(data []byte) uint64 {
 	if e.sliced && len(data) >= 8 && len(data)%8 == 0 {
 		return e.remainderSliced(data)
@@ -95,6 +99,8 @@ func (e *encTables) remainder(data []byte) uint64 {
 // independent table lookups — no serial per-byte feedback chain. The
 // all-zero chunk test keeps sparse deltas (EncodeDelta's common case) as
 // cheap as the leading-zero skip in the byte loop.
+//
+//chipkill:seqread
 func (e *encTables) remainderSliced(data []byte) uint64 {
 	var state uint64
 	for o := len(data) - 8; o >= 0; o -= 8 {
