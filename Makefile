@@ -1,7 +1,7 @@
 # Standard entry points; scripts/check.sh is the single source of truth
 # for what "passing" means.
 
-.PHONY: all build test race bench benchruntime check check-quick campaign soak fuzz vet
+.PHONY: all build test race bench benchruntime profile check check-quick campaign soak fuzz vet
 
 all: build
 
@@ -38,6 +38,15 @@ benchruntime:
 
 BENCH_runtime.json: FORCE
 	go run ./cmd/benchruntime -check
+
+# CPU + allocation profiles of the write scenarios (the zero-alloc write
+# pipeline); inspect with `go tool pprof profiles/write_{cpu,mem}.pprof`.
+PROFILE_SCENARIO ?= Write
+profile:
+	mkdir -p profiles
+	go run ./cmd/benchruntime -scenario $(PROFILE_SCENARIO) \
+		-cpuprofile profiles/write_cpu.pprof -memprofile profiles/write_mem.pprof \
+		-out profiles/write_profile.json
 
 # Fault-injection campaigns (internal/inject). `campaign` is the
 # acceptance suite; `soak` adds the deep campaigns and runs the soak-tagged

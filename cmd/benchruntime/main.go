@@ -10,18 +10,30 @@
 // controller (pre-optimization tree: byte-serial RS remainder, allocating
 // read path) on the same scenario code; those numbers are frozen below as
 // seed_ops_per_sec. speedup_vs_seed is only meaningful on comparable
-// hardware. -check enforces the PR gate: aggregate clean-read throughput
-// at GOMAXPROCS=8 must be >= 8x the frozen seed baseline, the clean read
-// path must report zero allocations per operation, and (on hosts with at
-// least two CPUs) batch clean reads at p8 must be >= 2x the p1 figure.
-// ContendedRead and WriteRowLocal are ungated smoke scenarios: the first
-// mixes occasional writes into the read storm so the seqlock retry path
-// runs, the second walks rows sequentially so EUR row-close batching has
-// deltas to coalesce.
+// hardware. -check enforces the PR gates:
+//
+//   - aggregate clean-read throughput at GOMAXPROCS=8 must be >= 8x the
+//     frozen seed baseline and the clean-read path must report zero
+//     allocations per operation;
+//   - WriteOMVHit and WriteOMVMiss at p8 must be >= 3x their frozen seed
+//     baselines with zero allocations per operation (the zero-alloc
+//     chip-parallel write pipeline);
+//   - DriftRead at p8 must be >= 4.75x seed (the pooled correction
+//     path: single-symbol drift corrections decode in closed form;
+//     measured 5.3-6.9x, the floor leaves room for host jitter) with
+//     zero allocations per operation;
+//   - ContendedRead and WriteRowLocal are gated rows: allocs/op must be
+//     zero, and p8 throughput must hold >= 0.5x the baselines frozen in
+//     baselineOps (measured on this repo's single-CPU reference host —
+//     the wide margin absorbs hardware variance);
+//   - on hosts with at least two CPUs, batch clean reads at p8 must be
+//     >= 2x the p1 figure. On single-CPU hosts this scaling gate is
+//     skipped with a notice: the sweep cannot scale.
 //
 // Usage:
 //
 //	go run ./cmd/benchruntime [-out BENCH_runtime.json] [-benchtime 1s] [-check]
+//	go run ./cmd/benchruntime -scenario Write -cpuprofile cpu.pprof -memprofile mem.pprof -out -
 //	go run ./cmd/benchruntime -validate BENCH_runtime.json
 package main
 
@@ -32,6 +44,8 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -80,6 +94,16 @@ var seedOps = map[string]float64{
 	"engine/WriteOMVMiss/p8":   39431,
 }
 
+// baselineOps freezes p8 ops/sec for the scenarios that did not exist at
+// the growth seed, measured on this repo's single-CPU reference host when
+// each scenario was promoted to a gated row. The -check floor is 0.5x —
+// a regression guard with a wide margin for hardware variance, not a
+// performance target.
+var baselineOps = map[string]float64{
+	"engine/ContendedRead/p8": 6225580,
+	"engine/WriteRowLocal/p8": 1138783,
+}
+
 type result struct {
 	Name  string `json:"name"`
 	Procs int    `json:"procs"`
@@ -93,6 +117,10 @@ type result struct {
 	BytesPerOp    int64   `json:"bytes_per_op"`
 	SeedOpsPerSec float64 `json:"seed_ops_per_sec,omitempty"`
 	SpeedupVsSeed float64 `json:"speedup_vs_seed,omitempty"`
+	// Baseline fields mirror the seed fields for scenarios frozen after
+	// the seed (see baselineOps).
+	BaselineOpsPerSec float64 `json:"baseline_ops_per_sec,omitempty"`
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
 }
 
 type headline struct {
@@ -107,6 +135,22 @@ type headline struct {
 	// -check requires >= 2x, but only on hosts with >= 2 CPUs: with one
 	// core the sweep measures scheduling overhead, not scaling.
 	CleanReadScalingP8VsP1 float64 `json:"clean_read_scaling_p8_vs_p1,omitempty"`
+	// Write-pipeline headlines: OMV-hit/miss throughput at p8 over the
+	// frozen seed (-check floor 3x) and the worst allocs/op across every
+	// write scenario (-check ceiling 0).
+	WriteOMVHitSpeedupP8  float64 `json:"write_omv_hit_speedup_p8"`
+	WriteOMVMissSpeedupP8 float64 `json:"write_omv_miss_speedup_p8"`
+	WriteAllocsPerOp      int64   `json:"write_allocs_per_op"`
+	// DriftReadSpeedupP8 is drift-read throughput at p8 over the frozen
+	// seed; the -check floor is 4.75x (the pooled correction path,
+	// measured 5.3-6.9x on the reference host), with a 0 allocs/op
+	// ceiling folded into DriftReadAllocsPerOp.
+	DriftReadSpeedupP8   float64 `json:"drift_read_speedup_p8"`
+	DriftReadAllocsPerOp int64   `json:"drift_read_allocs_per_op"`
+	// Baseline ratios for the post-seed gated rows (-check floor 0.5x,
+	// plus 0 allocs/op).
+	ContendedReadP8VsBaseline float64 `json:"contended_read_p8_vs_baseline"`
+	WriteRowLocalP8VsBaseline float64 `json:"write_row_local_p8_vs_baseline"`
 }
 
 type report struct {
@@ -388,13 +432,25 @@ func validate(path string) error {
 	if rep.Headline.CleanReadSpeedupP8 <= 0 {
 		return fmt.Errorf("%s: missing clean_read_speedup_p8 headline", path)
 	}
+	if rep.Headline.WriteOMVHitSpeedupP8 <= 0 || rep.Headline.WriteOMVMissSpeedupP8 <= 0 {
+		return fmt.Errorf("%s: missing write speedup headlines", path)
+	}
+	if rep.Headline.DriftReadSpeedupP8 <= 0 {
+		return fmt.Errorf("%s: missing drift_read_speedup_p8 headline", path)
+	}
+	if rep.Headline.ContendedReadP8VsBaseline <= 0 || rep.Headline.WriteRowLocalP8VsBaseline <= 0 {
+		return fmt.Errorf("%s: missing baseline-ratio headlines", path)
+	}
 	return nil
 }
 
 func run() error {
 	out := flag.String("out", "BENCH_runtime.json", "output file (- for stdout)")
 	benchtime := flag.Duration("benchtime", 0, "per-benchmark time (0: testing default)")
-	check := flag.Bool("check", false, "exit non-zero when the clean-read gate fails (>= 8x seed at p8, 0 allocs/op, >= 2x p1 scaling on multi-CPU hosts)")
+	check := flag.Bool("check", false, "exit non-zero when a PR gate fails (clean reads >= 8x seed, writes >= 3x seed, drift reads >= 4.75x seed, 0 allocs/op, baseline floors; see package doc)")
+	scenarioFilter := flag.String("scenario", "", "only run scenarios whose name contains this substring (profiling aid; incompatible with -check)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering every measured scenario")
+	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the last scenario")
 	validatePath := flag.String("validate", "", "schema-check an existing report file instead of benchmarking")
 	flag.Parse()
 	if *validatePath != "" {
@@ -404,8 +460,22 @@ func run() error {
 		fmt.Printf("%s: valid\n", *validatePath)
 		return nil
 	}
+	if *scenarioFilter != "" && *check {
+		return fmt.Errorf("-scenario filters out gated rows; run -check on the full sweep")
+	}
 	if *benchtime > 0 {
 		flag.Set("test.benchtime", benchtime.String())
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	geoCfg := rank.PaperConfig(benchBanks, benchRowsPerBank, benchRowBytes, 1)
@@ -425,6 +495,9 @@ func run() error {
 	}
 
 	for _, sc := range scenarios() {
+		if *scenarioFilter != "" && !strings.Contains(sc.name, *scenarioFilter) {
+			continue
+		}
 		for _, procs := range procsList {
 			r, err := measure(sc.name, procs, sc.opsPerIter, sc.setup, sc.client)
 			if err != nil {
@@ -435,13 +508,32 @@ func run() error {
 				r.SeedOpsPerSec = seed
 				r.SpeedupVsSeed = r.OpsPerSec / seed
 			}
+			if base, ok := baselineOps[key]; ok {
+				r.BaselineOpsPerSec = base
+				r.SpeedupVsBaseline = r.OpsPerSec / base
+			}
 			rep.Results = append(rep.Results, r)
 			fmt.Printf("%-26s p%-2d %10.1f ns/op %12.0f ops/s  %3d allocs/op", r.Name, r.Procs, r.NsPerOp, r.OpsPerSec, r.AllocsPerOp)
 			if r.SpeedupVsSeed > 0 {
 				fmt.Printf("  %5.2fx vs seed", r.SpeedupVsSeed)
 			}
+			if r.SpeedupVsBaseline > 0 {
+				fmt.Printf("  %5.2fx vs baseline", r.SpeedupVsBaseline)
+			}
 			fmt.Println()
 		}
+	}
+	if *memprofile != "" {
+		runtime.GC()
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
 	}
 	var batchP1, batchP8 float64
 	for _, r := range rep.Results {
@@ -458,6 +550,35 @@ func run() error {
 		case "engine/CleanRead":
 			if r.AllocsPerOp > rep.Headline.CleanReadAllocsPerOp {
 				rep.Headline.CleanReadAllocsPerOp = r.AllocsPerOp
+			}
+		case "engine/DriftRead":
+			if r.Procs == 8 {
+				rep.Headline.DriftReadSpeedupP8 = r.SpeedupVsSeed
+			}
+			if r.AllocsPerOp > rep.Headline.DriftReadAllocsPerOp {
+				rep.Headline.DriftReadAllocsPerOp = r.AllocsPerOp
+			}
+		case "engine/WriteOMVHit":
+			if r.Procs == 8 {
+				rep.Headline.WriteOMVHitSpeedupP8 = r.SpeedupVsSeed
+			}
+			if r.AllocsPerOp > rep.Headline.WriteAllocsPerOp {
+				rep.Headline.WriteAllocsPerOp = r.AllocsPerOp
+			}
+		case "engine/WriteOMVMiss", "engine/WriteRowLocal":
+			if r.Procs == 8 {
+				if r.Name == "engine/WriteOMVMiss" {
+					rep.Headline.WriteOMVMissSpeedupP8 = r.SpeedupVsSeed
+				} else {
+					rep.Headline.WriteRowLocalP8VsBaseline = r.SpeedupVsBaseline
+				}
+			}
+			if r.AllocsPerOp > rep.Headline.WriteAllocsPerOp {
+				rep.Headline.WriteAllocsPerOp = r.AllocsPerOp
+			}
+		case "engine/ContendedRead":
+			if r.Procs == 8 {
+				rep.Headline.ContendedReadP8VsBaseline = r.SpeedupVsBaseline
 			}
 		}
 	}
@@ -479,6 +600,10 @@ func run() error {
 	fmt.Printf("headline: clean-read x%.2f vs seed at p8, %d allocs/op, p8/p1 x%.2f\n",
 		rep.Headline.CleanReadSpeedupP8, rep.Headline.CleanReadAllocsPerOp,
 		rep.Headline.CleanReadScalingP8VsP1)
+	fmt.Printf("headline: writes x%.2f (OMV hit) / x%.2f (OMV miss) vs seed at p8, %d allocs/op; drift reads x%.2f, %d allocs/op\n",
+		rep.Headline.WriteOMVHitSpeedupP8, rep.Headline.WriteOMVMissSpeedupP8,
+		rep.Headline.WriteAllocsPerOp, rep.Headline.DriftReadSpeedupP8,
+		rep.Headline.DriftReadAllocsPerOp)
 	if *check {
 		if rep.Headline.CleanReadSpeedupP8 < 8 {
 			return fmt.Errorf("REGRESSION: clean-read throughput at p8 is only %.2fx the seed baseline (floor 8x)",
@@ -488,6 +613,39 @@ func run() error {
 			return fmt.Errorf("REGRESSION: clean-read path allocates (%d allocs/op, want 0)",
 				rep.Headline.CleanReadAllocsPerOp)
 		}
+		if rep.Headline.WriteOMVHitSpeedupP8 < 3 {
+			return fmt.Errorf("REGRESSION: OMV-hit writes at p8 are only %.2fx the seed baseline (floor 3x)",
+				rep.Headline.WriteOMVHitSpeedupP8)
+		}
+		if rep.Headline.WriteOMVMissSpeedupP8 < 3 {
+			return fmt.Errorf("REGRESSION: OMV-miss writes at p8 are only %.2fx the seed baseline (floor 3x)",
+				rep.Headline.WriteOMVMissSpeedupP8)
+		}
+		if rep.Headline.WriteAllocsPerOp != 0 {
+			return fmt.Errorf("REGRESSION: write path allocates (%d allocs/op, want 0)",
+				rep.Headline.WriteAllocsPerOp)
+		}
+		if rep.Headline.DriftReadSpeedupP8 < 4.75 {
+			return fmt.Errorf("REGRESSION: drift reads at p8 are only %.2fx the seed baseline (floor 4.75x)",
+				rep.Headline.DriftReadSpeedupP8)
+		}
+		if rep.Headline.DriftReadAllocsPerOp != 0 {
+			return fmt.Errorf("REGRESSION: drift-read path allocates (%d allocs/op, want 0)",
+				rep.Headline.DriftReadAllocsPerOp)
+		}
+		if rep.Headline.ContendedReadP8VsBaseline < 0.5 {
+			return fmt.Errorf("REGRESSION: contended reads at p8 are only %.2fx the frozen baseline (floor 0.5x)",
+				rep.Headline.ContendedReadP8VsBaseline)
+		}
+		if rep.Headline.WriteRowLocalP8VsBaseline < 0.5 {
+			return fmt.Errorf("REGRESSION: row-local writes at p8 are only %.2fx the frozen baseline (floor 0.5x)",
+				rep.Headline.WriteRowLocalP8VsBaseline)
+		}
+		for _, r := range rep.Results {
+			if (r.Name == "engine/ContendedRead" || r.Name == "engine/WriteRowLocal") && r.AllocsPerOp != 0 {
+				return fmt.Errorf("REGRESSION: %s allocates (%d allocs/op, want 0)", r.Name, r.AllocsPerOp)
+			}
+		}
 		if runtime.NumCPU() >= 2 {
 			if rep.Headline.CleanReadScalingP8VsP1 < 2 {
 				return fmt.Errorf("REGRESSION: batch clean reads at p8 are only %.2fx the p1 figure (floor 2x)",
@@ -495,6 +653,7 @@ func run() error {
 			}
 		} else {
 			fmt.Println("note: p8 >= 2x p1 scaling gate skipped (single-CPU host; the sweep cannot scale)")
+			fmt.Println("note: baseline floors for ContendedRead/WriteRowLocal were frozen on a single-CPU reference host")
 		}
 	}
 	return nil

@@ -108,3 +108,77 @@ func okAllow(n int) []byte {
 	//chipkill:allow noalloc cold path, covered by AllocsPerRun pin
 	return make([]byte, n)
 }
+
+// The write-chain shape: a chip-like type whose annotated write path
+// (writeXOR -> openRow -> closeRow -> drainSlot) stays allocation-free by
+// drawing every buffer from per-bank scratch owned by the struct. This is
+// the contract the real nvram.Chip write pipeline is held to.
+
+type bankScratch struct {
+	parity []byte
+	delta  []byte
+}
+
+type fakeChip struct {
+	bank    []bankScratch
+	open    []int
+	code    []byte
+}
+
+//chipkill:noalloc
+func (c *fakeChip) drainSlot(bank int) {
+	p := c.bank[bank].parity
+	for i := range p {
+		p[i] ^= c.bank[bank].delta[i]
+	}
+	copy(c.code, p)
+}
+
+//chipkill:noalloc
+func (c *fakeChip) closeRow(bank int) {
+	c.drainSlot(bank)
+	c.open[bank] = -1
+}
+
+//chipkill:noalloc
+func (c *fakeChip) openRow(bank, row int) {
+	if c.open[bank] >= 0 {
+		c.closeRow(bank)
+	}
+	c.open[bank] = row
+}
+
+//chipkill:noalloc
+func (c *fakeChip) writeXOR(bank, row int, delta []byte) {
+	c.openRow(bank, row)
+	d := c.bank[bank].delta
+	for i, v := range delta {
+		d[i] ^= v
+	}
+}
+
+// badDrainSlot is the regression the annotation guards against: a drain
+// that builds its parity buffer fresh instead of using bank scratch.
+//
+//chipkill:noalloc
+func (c *fakeChip) badDrainSlot(bank int) {
+	p := make([]byte, len(c.code)) // want `make allocates`
+	for i := range p {
+		p[i] ^= c.bank[bank].delta[i]
+	}
+	copy(c.code, p)
+}
+
+// badCloseRow shows the annotation-removal scenario on the chain itself:
+// if drainSlot lost its annotation and grew an allocation, every
+// still-annotated caller would report it transitively — modelled here by
+// an unannotated allocating drain.
+func (c *fakeChip) unannotatedDrain(bank int) {
+	c.bank[bank].parity = make([]byte, len(c.code))
+}
+
+//chipkill:noalloc
+func (c *fakeChip) badCloseRow(bank int) {
+	c.unannotatedDrain(bank) // want `calls noallocstub/a.fakeChip.unannotatedDrain, which allocates`
+	c.open[bank] = -1
+}

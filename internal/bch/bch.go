@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"chipkillpm/internal/gf"
 )
@@ -40,10 +41,11 @@ type Code struct {
 	n     int // codeword bits = k + r (shortened from 2^m-1)
 	gen   gf.Poly2
 
-	enc     *encTables // byte-wise LFSR tables; nil when r < 8
-	decOnce sync.Once
-	dec     *decTables // syndrome/Chien/quadratic tables, built on demand
-	scratch sync.Pool  // *decodeScratch
+	enc       *encTables // byte-wise LFSR tables; nil when r < 8
+	decOnce   sync.Once
+	dec       *decTables // syndrome/Chien/quadratic tables, built on demand
+	deltaTabs atomic.Pointer[deltaTables]
+	scratch   sync.Pool // *decodeScratch
 }
 
 // New constructs a binary BCH code over GF(2^m) that protects k data bits
@@ -216,6 +218,87 @@ func (c *Code) EncodeDelta(delta []byte, bitOffset int) []byte {
 	c.putScratch(sc)
 	return out
 }
+
+// maxDeltaWords bounds the stack-resident accumulator used by
+// EncodeDeltaInto: codes with up to 512 parity bits (every code in this
+// repository; the paper's is 264) take the allocation-free path.
+const maxDeltaWords = 8
+
+// EncodeDeltaInto is the allocation-free EncodeDelta used on the demand
+// write path: it writes the ParityBytes() parity update for delta at
+// bitOffset into out.
+//
+// Unlike EncodeDelta, which streams the delta through the LFSR and then
+// pays bitOffset/8 zero-feed steps for the x^bitOffset shift (up to
+// DataBytes-1 steps for a write near the end of a VLEW), this path sums
+// precomputed per-byte-position remainder rows
+//
+//	row[p][v] = v(x) * x^(8p+r) mod g(x)
+//
+// so an s-byte delta costs s table-row XORs regardless of its offset. The
+// rows (DataBytes x 256 x w words, ~2.6 MB for the paper's code) are built
+// once per Code on first use and shared by all chips holding the Code.
+//
+// The table only pays for itself on sparse deltas: each (position, value)
+// row is its own cache line, so a dense delta — an EUR drain covering a
+// whole VLEW — would take a cold miss per byte walking the 2.6 MB table,
+// where the LFSR streams the same bytes through a 10 KB table that stays
+// hot. Deltas of lfsrDeltaBytes or more therefore take the LFSR path with
+// a stack-resident state; short demand-write deltas (8 bytes per chip
+// access) take the table path and skip the up-to-DataBytes zero-feed.
+//
+//chipkill:noalloc
+func (c *Code) EncodeDeltaInto(out, delta []byte, bitOffset int) {
+	if len(out) != c.ParityBytes() {
+		panic(fmt.Sprintf("bch: EncodeDeltaInto: got %d out bytes, want %d", len(out), c.ParityBytes()))
+	}
+	if bitOffset < 0 || bitOffset+8*len(delta) > c.k {
+		panic(fmt.Sprintf("bch: EncodeDeltaInto: %d bytes at bit offset %d overflow k=%d", len(delta), bitOffset, c.k))
+	}
+	if c.enc == nil || bitOffset%8 != 0 || c.enc.w > maxDeltaWords {
+		copy(out, c.EncodeDelta(delta, bitOffset)) //chipkill:allow noalloc degenerate-code fallback, never hit by the paper's geometry
+		return
+	}
+	var acc [maxDeltaWords]uint64
+	w := c.enc.w
+	if len(delta) >= lfsrDeltaBytes {
+		c.enc.remainder(acc[:w], delta)
+		zero := true
+		for _, x := range acc[:w] {
+			if x != 0 {
+				zero = false
+				break
+			}
+		}
+		if !zero {
+			for s := bitOffset / 8; s > 0; s-- {
+				c.enc.step(acc[:w], 0)
+			}
+		}
+		stateBytes(acc[:w], out)
+		return
+	}
+	d := c.deltaTables() //chipkill:allow noalloc one-time table build; steady state is an atomic pointer load
+	p0 := bitOffset / 8
+	for i, v := range delta {
+		if v == 0 {
+			continue
+		}
+		base := ((p0+i)*256 + int(v)) * w
+		row := d.tab[base : base+w : base+w]
+		for j, x := range row {
+			acc[j] ^= x
+		}
+	}
+	stateBytes(acc[:w], out)
+}
+
+// lfsrDeltaBytes is the crossover between EncodeDeltaInto's two
+// strategies: deltas at least this long stream through the LFSR, shorter
+// ones sum delta-table rows. Demand writes hand each chip 8 bytes and EUR
+// drains hand it a whole VLEW (256 bytes for the paper's code); any value
+// between those is equivalent.
+const lfsrDeltaBytes = 64
 
 // EncodeDeltaBitSerial is the original bit-serial delta encoder, retained
 // as the differential-testing oracle and the fallback for bit-unaligned

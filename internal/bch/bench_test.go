@@ -49,6 +49,18 @@ func BenchmarkKernelEncodeDelta(b *testing.B) {
 	}
 }
 
+func BenchmarkKernelEncodeDeltaInto(b *testing.B) {
+	c := paperCode()
+	delta := make([]byte, 8)
+	rand.New(rand.NewSource(2)).Read(delta)
+	out := make([]byte, c.ParityBytes())
+	c.EncodeDeltaInto(out, delta, 0) // build tables outside the timed region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.EncodeDeltaInto(out, delta, 1024)
+	}
+}
+
 func BenchmarkKernelEncodeDeltaBitSerial(b *testing.B) {
 	c := paperCode()
 	delta := make([]byte, 8)

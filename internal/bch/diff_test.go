@@ -70,6 +70,65 @@ func TestEncodeDeltaMatchesBitSerial(t *testing.T) {
 	}
 }
 
+func TestEncodeDeltaIntoMatchesBitSerial(t *testing.T) {
+	for _, p := range diffCodes {
+		code := Must(p.m, p.k, p.t)
+		rng := rand.New(rand.NewSource(int64(p.k)*5 + int64(p.t)))
+		out := make([]byte, code.ParityBytes())
+		for trial := 0; trial < 80; trial++ {
+			maxLen := code.k / 8
+			if maxLen > 16 && trial%4 != 3 {
+				maxLen = 16 // short deltas: table path; every 4th trial stays long for the LFSR path
+			}
+			n := 1 + rng.Intn(maxLen)
+			delta := make([]byte, n)
+			rng.Read(delta)
+			if trial%8 == 0 {
+				for i := range delta {
+					delta[i] = 0 // zero delta must produce zero parity
+				}
+			}
+			limit := code.k - 8*n
+			off := 0
+			if limit > 0 {
+				off = rng.Intn(limit + 1)
+			}
+			if trial%2 == 0 {
+				off &^= 7 // byte-aligned (table path) half the time
+			}
+			code.EncodeDeltaInto(out, delta, off)
+			slow := code.EncodeDeltaBitSerial(delta, off)
+			if !bytes.Equal(out, slow) {
+				t.Fatalf("%v trial %d off %d: EncodeDeltaInto mismatch\nfast %x\nslow %x",
+					code, trial, off, out, slow)
+			}
+		}
+	}
+}
+
+// TestEncodeDeltaIntoAllocFree pins the demand-write encoder at 0 allocs/op
+// once its position tables are warm; chips call it on every EUR drain.
+func TestEncodeDeltaIntoAllocFree(t *testing.T) {
+	code := Must(12, 2048, 22)
+	out := make([]byte, code.ParityBytes())
+	delta := []byte{0xA5, 0x5A, 0x01, 0xFF, 0x80, 0x7E, 0x33, 0xCC}
+	code.EncodeDeltaInto(out, delta, 0) // warm the tables
+	if n := testing.AllocsPerRun(200, func() {
+		code.EncodeDeltaInto(out, delta, 1984)
+	}); n != 0 {
+		t.Fatalf("EncodeDeltaInto allocates %.1f per op, want 0", n)
+	}
+	dense := make([]byte, code.DataBytes()) // EUR drain shape: the LFSR branch
+	for i := range dense {
+		dense[i] = byte(i*37 + 1)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		code.EncodeDeltaInto(out, dense, 0)
+	}); n != 0 {
+		t.Fatalf("EncodeDeltaInto (dense) allocates %.1f per op, want 0", n)
+	}
+}
+
 func TestSyndromesMatchBitSerial(t *testing.T) {
 	for _, p := range diffCodes {
 		code := Must(p.m, p.k, p.t)

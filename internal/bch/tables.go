@@ -199,6 +199,42 @@ func stateBytes(state []uint64, out []byte) {
 	}
 }
 
+// deltaTables hold per-byte-position remainder rows for EncodeDeltaInto:
+// tab[(p*256+v)*w : ...+w] = v(x)*x^(8p+r) mod g(x). Position 0 is exactly
+// the LFSR feed table; each later position is the previous one advanced by
+// one zero-feed step (multiply by x^8 mod g).
+type deltaTables struct {
+	w   int
+	tab []uint64
+}
+
+// deltaTables returns the per-position delta rows, building them on first
+// use. Racing builders each construct a candidate; CompareAndSwap keeps
+// exactly one, so callers always share a single table. Requires c.enc != nil.
+func (c *Code) deltaTables() *deltaTables {
+	if d := c.deltaTabs.Load(); d != nil {
+		return d
+	}
+	e := c.enc
+	w := e.w
+	db := c.DataBytes()
+	d := &deltaTables{w: w, tab: make([]uint64, db*256*w)}
+	copy(d.tab[:256*w], e.tab)
+	for p := 1; p < db; p++ {
+		prev := d.tab[(p-1)*256*w : p*256*w]
+		cur := d.tab[p*256*w : (p+1)*256*w]
+		for v := 1; v < 256; v++ {
+			row := cur[v*w : v*w+w]
+			copy(row, prev[v*w:v*w+w])
+			e.step(row, 0)
+		}
+	}
+	if !c.deltaTabs.CompareAndSwap(nil, d) {
+		d = c.deltaTabs.Load()
+	}
+	return d
+}
+
 // decTables builds (once) and returns the decode tables, or nil for codes
 // where the fast path is unavailable.
 func (c *Code) decTables() *decTables {

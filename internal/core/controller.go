@@ -186,6 +186,15 @@ type Controller struct {
 	checkDelta   []byte // RS check delta for writes
 	internalBuf  []byte // OMV fetches and other internal reads
 	erasureIdx   []int  // erasure positions for chip-failure decodes
+
+	// Correction-path scratch, reused across corrections so reads under
+	// drift stay allocation-free: RS corrections land in corrBuf via the
+	// DecodeAppend family, and the VLEW fallback gathers each chip's VLEW
+	// into one reusable data/code pair.
+	corrBuf        []rs.Correction
+	vlewDataBuf    []byte
+	vlewCodeBuf    []byte
+	failedChipsBuf []int
 }
 
 // NewController wires a controller to a rank. The rank must use the
@@ -221,6 +230,11 @@ func NewController(r *rank.Rank, cfg Config, omv OMVProvider) (*Controller, erro
 		checkDelta:   make([]byte, checkBytes),
 		internalBuf:  make([]byte, bb),
 		erasureIdx:   make([]int, checkBytes),
+
+		corrBuf:        make([]rs.Correction, 0, checkBytes),
+		vlewDataBuf:    make([]byte, r.Config().Geometry.VLEWDataBytes),
+		vlewCodeBuf:    make([]byte, r.Config().Geometry.VLEWCodeBytes),
+		failedChipsBuf: make([]int, 0, r.NumChips()),
 	}, nil
 }
 
@@ -358,8 +372,8 @@ func (c *Controller) readCorrectedInto(dst []byte, block int64) error {
 		c.stats.ReadsClean++
 		return nil
 	}
-	//chipkill:allow noalloc corrupted blocks leave the steady state; the decoder draws from its pool
-	corrections, err := c.rsCode.DecodeLimited(dst, c.readCheckBuf, c.cfg.Threshold)
+	//chipkill:allow noalloc decode draws from its scratch pool and appends into the pre-sized corrBuf; single-symbol drift corrections run allocation-free end to end
+	corrections, err := c.rsCode.DecodeLimitedAppend(c.corrBuf, dst, c.readCheckBuf, c.cfg.Threshold)
 	if err == nil {
 		c.stats.ReadsRSCorrected++
 		c.stats.BitsCorrectedRS += int64(len(corrections))
@@ -392,10 +406,11 @@ func (c *Controller) vlewCorrectBlockInto(dst []byte, block int64) error {
 
 	check := c.vlewCheckBuf
 	checkOK := false
-	var failedChips []int
+	failedChips := c.failedChipsBuf[:0]
+	vData, vCode := c.vlewDataBuf, c.vlewCodeBuf
 	for ci := 0; ci < c.rank.NumChips(); ci++ {
 		chip := c.rank.Chip(ci)
-		vData, vCode := chip.ReadVLEW(loc.Bank, loc.Row, v)
+		chip.ReadVLEWInto(vData, vCode, loc.Bank, loc.Row, v)
 		fixed, derr := code.Decode(vData, vCode[:code.ParityBytes()])
 		if derr != nil {
 			failedChips = append(failedChips, ci)
@@ -414,7 +429,7 @@ func (c *Controller) vlewCorrectBlockInto(dst []byte, block int64) error {
 	switch len(failedChips) {
 	case 0:
 		// All chips' bit errors corrected; verify with RS for safety.
-		if corr, err := c.rsCode.Decode(dst, check, nil); err == nil {
+		if corr, err := c.rsCode.DecodeAppend(c.corrBuf, dst, check, nil); err == nil {
 			c.stats.BitsCorrectedRS += int64(len(corr))
 		} else {
 			c.stats.Uncorrectable++
@@ -441,7 +456,7 @@ func (c *Controller) vlewCorrectBlockInto(dst []byte, block int64) error {
 		for i := 0; i < n; i++ {
 			erasures[i] = ci*n + i
 		}
-		if _, err := c.rsCode.Decode(dst, check, erasures); err != nil {
+		if _, err := c.rsCode.DecodeAppend(c.corrBuf, dst, check, erasures); err != nil {
 			c.stats.Uncorrectable++
 			c.tel.DUEs++
 			return fmt.Errorf("block %d: erasure correction failed: %w", block, ErrUncorrectable)
@@ -464,25 +479,37 @@ func (c *Controller) vlewCorrectBlockInto(dst []byte, block int64) error {
 // memory value (from the LLC's OMV store when possible, otherwise from
 // memory with full correction), then send the bitwise sum of old and new
 // data — and of old and new RS check bytes — to the rank.
+//
+// Both steady-state legs are allocation-free: an OMV hit goes straight to
+// writeDelta, and a miss reads the old value into the controller's
+// internal buffer through the zero-alloc corrected-read path.
+//
+//chipkill:noalloc
 func (c *Controller) WriteBlock(block int64, newData []byte) error {
 	if len(newData) != c.rank.Config().BlockBytes() {
+		//chipkill:allow noalloc caller bug, not a demand write
 		return fmt.Errorf("core: WriteBlock: got %d bytes, want %d", len(newData), c.rank.Config().BlockBytes())
 	}
 	if c.disabled[block] {
+		//chipkill:allow noalloc disabled-block error path is cold
 		return fmt.Errorf("block %d: %w", block, ErrBlockDisabled)
 	}
 	c.stats.Writes++
 	if c.blockStriped(block) {
+		//chipkill:allow noalloc striped writes use the migration scratch; only the original layout is on the zero-alloc contract
 		return c.writeDegraded(block, newData)
 	}
+	//chipkill:allow noalloc OMV provider is an interface; the shipped providers (LLC model, NoOMV) do not allocate on lookup
 	old, hit := c.omv.OMV(block)
 	if hit {
 		c.stats.OMVHits++
 	} else {
 		c.stats.OMVMisses++
 		var err error
+		//chipkill:allow noalloc internal read lands in the pooled internalBuf; its clean path is the annotated readCorrectedInto
 		old, err = c.readForInternalUse(block)
 		if err != nil {
+			//chipkill:allow noalloc OMV fetch failure is a DUE path, already off the steady state
 			return fmt.Errorf("core: fetching OMV for block %d: %w", block, err)
 		}
 	}
@@ -497,6 +524,8 @@ func (c *Controller) WriteBlock(block int64, newData []byte) error {
 // writeDelta sends a data delta and the matching RS check delta (linear:
 // check(old) XOR check(new) = check(old XOR new)) to the rank as one
 // bitwise-sum write.
+//
+//chipkill:noalloc
 func (c *Controller) writeDelta(block int64, delta []byte) {
 	c.rsCode.EncodeInto(c.checkDelta, delta)
 	c.rank.WriteBlockXOR(block, delta, c.checkDelta)

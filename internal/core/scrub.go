@@ -83,6 +83,20 @@ func (c *Controller) BootScrub() ScrubReport {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker working set: one data/code buffer pair per VLEW of
+			// a row, reused for every row the worker scans (ReadVLEWInto
+			// fills them in place), plus the row's write-back batch. A
+			// worker allocates once, not twice per VLEW.
+			vpr := g.VLEWsPerRow()
+			rowData := make([][]byte, vpr)
+			rowCode := make([][]byte, vpr)
+			for v := range rowData {
+				rowData[v] = make([]byte, g.VLEWDataBytes)
+				rowCode[v] = make([]byte, g.VLEWCodeBytes)
+			}
+			dirtyVs := make([]int, 0, vpr)
+			dirtyData := make([][]byte, 0, vpr)
+			dirtyCode := make([][]byte, 0, vpr)
 			for {
 				i := int(cursor.Add(1)) - 1
 				if i >= len(units) {
@@ -91,10 +105,14 @@ func (c *Controller) BootScrub() ScrubReport {
 				u, p := units[i], &partials[i]
 				chip := r.Chip(u.chip)
 				for row := 0; row < g.RowsPerBank; row++ {
-					for v := 0; v < g.VLEWsPerRow(); v++ {
+					dirtyVs = dirtyVs[:0]
+					dirtyData = dirtyData[:0]
+					dirtyCode = dirtyCode[:0]
+					for v := 0; v < vpr; v++ {
 						p.vlews++
 						p.fetches += fetchesPerVLEW
-						data, vcode := chip.ReadVLEW(u.bank, row, v)
+						data, vcode := rowData[v], rowCode[v]
+						chip.ReadVLEWInto(data, vcode, u.bank, row, v)
 						fixed, err := code.Decode(data, vcode[:code.ParityBytes()])
 						if err != nil {
 							p.uncorrectable++
@@ -102,8 +120,15 @@ func (c *Controller) BootScrub() ScrubReport {
 						}
 						if fixed > 0 {
 							p.bits += int64(fixed)
-							chip.WriteVLEW(u.bank, row, v, data, vcode)
+							dirtyVs = append(dirtyVs, v)
+							dirtyData = append(dirtyData, data)
+							dirtyCode = append(dirtyCode, vcode)
 						}
+					}
+					// One locked write-back per row covers every corrected
+					// VLEW in it, instead of one lock round-trip per VLEW.
+					if len(dirtyVs) > 0 {
+						chip.WriteVLEWRow(u.bank, row, dirtyVs, dirtyData, dirtyCode)
 					}
 				}
 			}
@@ -237,6 +262,10 @@ func (c *Controller) PatrolScrub(pos int64, count int) (next int64, corrected in
 	total := c.TotalPatrolUnits()
 	var d Stats // published under the stats lock after the walk
 	td := Telemetry{Chips: make([]ChipTelemetry, r.NumChips())}
+	// One buffer pair serves the whole walk; ReadVLEWInto overwrites it
+	// per unit, so the patrol no longer allocates two slices per VLEW.
+	data := make([]byte, g.VLEWDataBytes)
+	vcode := make([]byte, g.VLEWCodeBytes)
 	for i := 0; i < count; i++ {
 		p := (pos + int64(i)) % total
 		vpr := int64(g.VLEWsPerRow())
@@ -250,7 +279,7 @@ func (c *Controller) PatrolScrub(pos int64, count int) (next int64, corrected in
 		if !chip.Healthy() {
 			continue
 		}
-		data, vcode := chip.ReadVLEW(bank, row, v)
+		chip.ReadVLEWInto(data, vcode, bank, row, v)
 		fixed, err := code.Decode(data, vcode[:code.ParityBytes()])
 		if err != nil {
 			d.ScrubUncorrectable++

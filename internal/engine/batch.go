@@ -10,10 +10,11 @@ import (
 // Batch APIs. A batch is grouped by owning shard, then each shard's group
 // executes as one critical section — one lock handoff amortised over the
 // whole group instead of one per operation. Ordering guarantee: within a
-// shard, operations execute in ascending batch-slice order (so a batch
-// that writes the same block twice applies the later slice entry last);
-// across shards there is no ordering, matching real bank-level
-// parallelism. Groups fan out across goroutines only when more than one
+// shard, reads execute in ascending batch-slice order; writes are stably
+// row-sorted first (so same-row writes coalesce in the EUR registers)
+// but same-block writes — which share a row by construction — still
+// apply their later slice entry last. Across shards there is no
+// ordering, matching real bank-level parallelism. Groups fan out across goroutines only when more than one
 // shard is involved and the fan-out cap allows it; otherwise they run
 // inline on the caller, which keeps the single-threaded batch path
 // allocation-free.
@@ -129,9 +130,9 @@ func (e *Engine) runGroup(op batchOp, s *shard, idx []int32, blocks []int64, buf
 		}
 		return fails
 	}
+	e.sortGroupByRow(idx, blocks)
 	s.lockWrite()
 	for _, i := range idx {
-		//chipkill:allow noalloc writes go through OMV delta encoding, which is not on the zero-alloc contract
 		err := s.ctrl.WriteBlock(blocks[i], bufs[i])
 		if errs != nil {
 			errs[i] = err
@@ -142,6 +143,29 @@ func (e *Engine) runGroup(op batchOp, s *shard, idx []int32, blocks []int64, buf
 	}
 	s.unlockWrite()
 	return fails
+}
+
+// sortGroupByRow stably sorts one shard group's batch indices by row so
+// same-row writes land back to back: the open row's EUR registers absorb
+// every delta for the row and the close-drain pays one BCH EncodeDelta
+// per touched VLEW for the whole run, instead of an open/drain cycle per
+// interleaved write. Insertion sort keeps the path allocation-free and
+// the stability preserves ascending batch-slice order within a row — in
+// particular, duplicate blocks (same block, hence same row) still apply
+// their later slice entry last.
+//
+//chipkill:noalloc
+func (e *Engine) sortGroupByRow(idx []int32, blocks []int64) {
+	for i := 1; i < len(idx); i++ {
+		v := idx[i]
+		row := blocks[v] / e.bpr
+		j := i
+		for j > 0 && blocks[idx[j-1]]/e.bpr > row {
+			idx[j] = idx[j-1]
+			j--
+		}
+		idx[j] = v
+	}
 }
 
 // runBatch groups the batch by shard and executes each group as one

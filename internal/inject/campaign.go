@@ -62,6 +62,22 @@ type Campaign struct {
 	// same counters. Meaningless without EngineShards.
 	EngineNoSeqlock bool `json:"engine_no_seqlock,omitempty"`
 
+	// EngineBatchWrites > 0 buffers up to that many demand writes and
+	// issues each batch through Engine.WriteBlocks (the row-coalescing
+	// batched write path) instead of per-op WriteBlock calls. The harness
+	// flushes the buffer whenever per-op ordering becomes observable —
+	// before any read or scripted event, before a one-shot armed write
+	// fault, and before a duplicate of a buffered block — and pre-draws
+	// each buffered write's OMV decision in buffered order so the OMV rng
+	// stream matches the serial run exactly. Batched campaigns must
+	// therefore produce reports identical to serial and per-op engine
+	// runs, which is what the three-way equivalence test asserts. Implies
+	// EngineShards (defaulting it to Banks) and forces BatchFanOut=1: the
+	// campaign OMV source is not safe for concurrent shard goroutines.
+	// Buffered mode assumes demand writes never target disabled blocks
+	// (the OMV decision is drawn before the engine sees the write).
+	EngineBatchWrites int `json:"engine_batch_writes,omitempty"`
+
 	// ProbeStatsDuringScrub spawns a goroutine hammering Controller.
 	// Stats while each BootScrub runs, exercising the documented stats
 	// concurrency contract (meaningful under -race).
@@ -97,6 +113,11 @@ type Harness struct {
 	armDelta   bool
 	armOMV     bool
 	opIndex    int64
+
+	// Write buffer for EngineBatchWrites mode (see flushWrites).
+	wblocks []int64
+	wdatas  [][]byte
+	werrs   []error
 }
 
 // campaignSeed mixes the campaign name into the base seed so sibling
@@ -124,6 +145,9 @@ func NewHarness(suite string, c Campaign) (*Harness, error) {
 	if c.Guard != nil && c.EngineShards <= 0 {
 		c.EngineShards = c.Banks // guard scenarios need the sharded engine
 	}
+	if c.EngineBatchWrites > 0 && c.EngineShards <= 0 {
+		c.EngineShards = c.Banks // batched writes go through the engine
+	}
 	seed := campaignSeed(c.Name, c.Seed)
 	r, err := rank.New(rank.PaperConfig(c.Banks, c.RowsPerBank, c.RowBytes, seed+1))
 	if err != nil {
@@ -150,6 +174,7 @@ func NewHarness(suite string, c Campaign) (*Harness, error) {
 	h.omv = &omvSource{oracle: h.oracle, rng: rand.New(rand.NewSource(seed + 2)), hitRate: c.OMVHitRate}
 	if c.EngineShards > 0 {
 		h.rep.EngineShards = c.EngineShards
+		h.rep.EngineBatchWrites = c.EngineBatchWrites
 		h.eng, err = engine.New(r, h.engCfg())
 		if err != nil {
 			return nil, fmt.Errorf("inject: building engine: %w", err)
@@ -168,7 +193,13 @@ func (h *Harness) ctrlCfg() core.Config {
 }
 
 func (h *Harness) engCfg() engine.Config {
-	return engine.Config{Shards: h.c.EngineShards, Core: h.ctrlCfg(), OMV: h.omv, DisableSeqlock: h.c.EngineNoSeqlock}
+	cfg := engine.Config{Shards: h.c.EngineShards, Core: h.ctrlCfg(), OMV: h.omv, DisableSeqlock: h.c.EngineNoSeqlock}
+	if h.c.EngineBatchWrites > 0 {
+		// The campaign omvSource is single-threaded; keep batch flushes on
+		// the campaign goroutine.
+		cfg.BatchFanOut = 1
+	}
+	return cfg
 }
 
 // Controller exposes the live controller (it changes across crash events);
@@ -318,9 +349,17 @@ func (h *Harness) randomOp() {
 
 // writeOp writes fresh random data, applying any armed one-shot
 // write-path fault, and commits the *intended* data to the oracle.
+// In EngineBatchWrites mode unarmed writes are buffered for a batched
+// flush; armed writes flush the buffer and go through the per-op path so
+// the one-shot fault lands on exactly the intended write.
 func (h *Harness) writeOp(b int64) {
 	data := make([]byte, h.blockBytes)
 	h.rng.Read(data)
+	if h.c.EngineBatchWrites > 0 && !h.armOMV && !h.armDelta {
+		h.bufferWrite(b, data)
+		return
+	}
+	h.flushWrites()
 	if h.armOMV {
 		h.armOMV = false
 		h.omv.corruptNext = true
@@ -340,6 +379,56 @@ func (h *Harness) writeOp(b int64) {
 	h.oracle.Commit(b, data)
 }
 
+// bufferWrite queues one write for the next batched flush. A duplicate of
+// an already-buffered block flushes first: the later write's OMV decision
+// must be drawn against the earlier write's committed data, exactly as in
+// the serial run. The OMV decision is drawn here, at buffer time, so the
+// omvSource rng stream advances in op order even though the engine
+// executes the flushed batch in shard-group order.
+func (h *Harness) bufferWrite(b int64, data []byte) {
+	for _, q := range h.wblocks {
+		if q == b {
+			h.flushWrites()
+			break
+		}
+	}
+	h.omv.plan(b)
+	h.wblocks = append(h.wblocks, b)
+	h.wdatas = append(h.wdatas, data)
+	if len(h.wblocks) >= h.c.EngineBatchWrites {
+		h.flushWrites()
+	}
+}
+
+// flushWrites issues the buffered writes as one Engine.WriteBlocks batch,
+// then commits each successful write's intended data to the oracle in
+// buffered order. Counters and oracle state after a flush are identical
+// to running the same writes through the per-op path: blocks in the
+// buffer are unique, total OMV hit/miss counts are fixed by the
+// pre-drawn decisions, and writes to distinct blocks commute physically
+// (XOR deltas touch disjoint cells; EUR coalescing is linear).
+func (h *Harness) flushWrites() {
+	if len(h.wblocks) == 0 {
+		return
+	}
+	h.werrs = h.werrs[:0]
+	for range h.wblocks {
+		h.werrs = append(h.werrs, nil)
+	}
+	h.eng.WriteBlocks(h.wblocks, h.wdatas, h.werrs)
+	for i, b := range h.wblocks {
+		h.omv.unplan(b) // drop any decision an errored write never consumed
+		if err := h.werrs[i]; err != nil {
+			h.fail("write", b, err.Error())
+			continue
+		}
+		h.rep.Writes++
+		h.oracle.Commit(b, h.wdatas[i])
+	}
+	h.wblocks = h.wblocks[:0]
+	h.wdatas = h.wdatas[:0]
+}
+
 // corruptStoredDelta models a one-bit bus fault on the XOR delta to one
 // data chip: the chip folds the corrupted delta into its stored data and
 // its VLEW code bits (so the chip is internally consistent), while the
@@ -357,6 +446,7 @@ func (h *Harness) corruptStoredDelta(b int64) {
 // readAndCheck reads one block and classifies the outcome against the
 // oracle, distinguishing silent corruption from honest DUEs.
 func (h *Harness) readAndCheck(b int64) Outcome {
+	h.flushWrites() // buffered writes must land before the stats snapshot
 	want, ok := h.oracle.Expected(b)
 	if !ok {
 		return OutcomeClean
@@ -390,6 +480,7 @@ func (h *Harness) readAndCheck(b int64) Outcome {
 
 // sweep reads and classifies every committed block in ascending order.
 func (h *Harness) sweep() {
+	h.flushWrites()
 	for _, b := range h.oracle.Blocks() {
 		h.readAndCheck(b)
 	}
@@ -401,6 +492,7 @@ func (h *Harness) sweep() {
 //
 //chipkill:rankwide
 func (h *Harness) apply(ev Event) {
+	h.flushWrites() // events must see exactly the serial run's memory state
 	switch ev.Kind {
 	case EvDrift:
 		h.rep.BitsInjected += int64(h.rank.InjectRetentionErrors(ev.RBER))
@@ -570,10 +662,50 @@ type omvSource struct {
 	hitRate     float64
 	corruptNext bool
 	disabled    atomic.Bool
+
+	// planned holds OMV decisions pre-drawn for buffered writes (see
+	// Harness.bufferWrite), keyed by block — unique within a batch because
+	// duplicates force a flush. OMV serves and consumes a planned decision
+	// before consulting the live oracle, so flush-time execution order
+	// cannot perturb the rng stream.
+	planned map[int64]plannedOMV
+}
+
+type plannedOMV struct {
+	data []byte
+	hit  bool
+}
+
+// plan draws the OMV decision for a buffered write of block, mirroring
+// OMV's unarmed logic draw for draw.
+func (o *omvSource) plan(block int64) {
+	if o.planned == nil {
+		o.planned = make(map[int64]plannedOMV)
+	}
+	if o.disabled.Load() {
+		o.planned[block] = plannedOMV{}
+		return
+	}
+	want, ok := o.oracle.Expected(block)
+	if !ok || o.rng.Float64() >= o.hitRate {
+		o.planned[block] = plannedOMV{}
+		return
+	}
+	o.planned[block] = plannedOMV{data: append([]byte(nil), want...), hit: true}
+}
+
+// unplan discards a planned decision that was never consumed (an errored
+// write that failed before its OMV consult).
+func (o *omvSource) unplan(block int64) {
+	delete(o.planned, block)
 }
 
 // OMV implements core.OMVProvider.
 func (o *omvSource) OMV(block int64) ([]byte, bool) {
+	if p, ok := o.planned[block]; ok {
+		delete(o.planned, block)
+		return p.data, p.hit
+	}
 	if o.disabled.Load() {
 		return nil, false
 	}

@@ -150,6 +150,9 @@ func TestEngineCampaignMatchesSerial(t *testing.T) {
 	engined := RunCampaign("unit", c)
 	c.EngineNoSeqlock = true
 	locked := RunCampaign("unit", c)
+	c.EngineNoSeqlock = false
+	c.EngineBatchWrites = 16
+	batched := RunCampaign("unit", c)
 
 	if !serial.Pass {
 		t.Fatalf("serial campaign failed: %s", serial.Reason)
@@ -160,22 +163,36 @@ func TestEngineCampaignMatchesSerial(t *testing.T) {
 	if !locked.Pass {
 		t.Fatalf("engine (seqlock off) campaign failed: %s", locked.Reason)
 	}
+	if !batched.Pass {
+		t.Fatalf("engine (batched writes) campaign failed: %s", batched.Reason)
+	}
 	if engined.SDC != 0 || engined.DUE != 0 {
 		t.Fatalf("engine campaign leaked: sdc=%d due=%d", engined.SDC, engined.DUE)
+	}
+	if batched.SDC != 0 || batched.DUE != 0 {
+		t.Fatalf("batched-write campaign leaked: sdc=%d due=%d", batched.SDC, batched.DUE)
 	}
 	if engined.EngineShards != 4 {
 		t.Fatalf("engine report tagged with %d shards, want 4", engined.EngineShards)
 	}
-	serial.ElapsedMS, engined.ElapsedMS, locked.ElapsedMS = 0, 0, 0
-	serial.EngineShards, engined.EngineShards, locked.EngineShards = 0, 0, 0
+	if batched.EngineBatchWrites != 16 {
+		t.Fatalf("batched report tagged with %d batch writes, want 16", batched.EngineBatchWrites)
+	}
+	serial.ElapsedMS, engined.ElapsedMS, locked.ElapsedMS, batched.ElapsedMS = 0, 0, 0, 0
+	serial.EngineShards, engined.EngineShards, locked.EngineShards, batched.EngineShards = 0, 0, 0, 0
+	batched.EngineBatchWrites = 0
 	js, _ := json.Marshal(serial)
 	je, _ := json.Marshal(engined)
 	jl, _ := json.Marshal(locked)
+	jb, _ := json.Marshal(batched)
 	if string(js) != string(je) {
 		t.Fatalf("engine and serial backends diverged:\nserial: %s\nengine: %s", js, je)
 	}
 	if string(js) != string(jl) {
 		t.Fatalf("seqlock-off engine and serial backends diverged:\nserial: %s\nengine: %s", js, jl)
+	}
+	if string(js) != string(jb) {
+		t.Fatalf("batched-write engine and serial backends diverged:\nserial: %s\nbatched: %s", js, jb)
 	}
 }
 

@@ -118,14 +118,28 @@ type Chip struct {
 	// range so the drain encodes only what changed. A slot's register is
 	// allocated lazily and kept zeroed whenever its eurSet flag is false,
 	// so draining is flag-test + encode with no map churn and no
-	// cross-bank sharing.
+	// cross-bank sharing. Registers are carved out of one eagerly
+	// allocated slab so the write path never allocates.
 	eurDelta [][]byte
 	eurSet   []bool
 	eurLo    []int32
 	eurHi    []int32
-	rowWear  []int64           // writes per row, for wear accounting
-	stuck    map[int]stuckCell // worn-out cells: writes cannot change them
-	stats    Stats
+	// bank[b] is per-bank scratch for the write chain (delta staging and
+	// EncodeDeltaInto output). Banks operate independently — the demand
+	// concurrency contract guarantees no two goroutines touch the same
+	// bank — so per-bank ownership makes every write-path encode
+	// allocation-free without any caller-threaded buffers.
+	bank    []bankScratch
+	rowWear []int64           // writes per row, for wear accounting
+	stuck   map[int]stuckCell // worn-out cells: writes cannot change them
+	stats   Stats
+}
+
+// bankScratch is the reusable working memory of one bank's write chain.
+// Only populated when the chip embeds an encoder.
+type bankScratch struct {
+	parity []byte // EncodeDeltaInto output, enc.ParityBytes()
+	delta  []byte // WriteData delta staging, RowDataBytes
 }
 
 // stuckCell describes permanently faulty bits of one cell byte: the bits
@@ -166,6 +180,21 @@ func NewChip(geom Geometry, enc *bch.Code, seed int64) (*Chip, error) {
 	}
 	for i := range c.openRow {
 		c.openRow[i] = -1
+	}
+	// Carve the EUR registers out of one slab up front (Banks*RowDataBytes,
+	// negligible next to cells) so coalescing never allocates mid-write.
+	slab := make([]byte, geom.EURRegisters()*geom.VLEWDataBytes)
+	for i := range c.eurDelta {
+		c.eurDelta[i] = slab[i*geom.VLEWDataBytes : (i+1)*geom.VLEWDataBytes]
+	}
+	if enc != nil {
+		c.bank = make([]bankScratch, geom.Banks)
+		for b := range c.bank {
+			c.bank[b] = bankScratch{
+				parity: make([]byte, enc.ParityBytes()),
+				delta:  make([]byte, geom.RowDataBytes),
+			}
+		}
 	}
 	return c, nil
 }
@@ -284,8 +313,10 @@ func (c *Chip) WriteData(bank, row, off int, data []byte) {
 	}
 	old := c.cells[base+off : base+off+len(data)]
 	if c.enc != nil {
-		// Update code bits from the delta before overwriting.
-		delta := make([]byte, len(data))
+		// Update code bits from the delta before overwriting; the delta is
+		// staged in the bank's scratch (callers own the bank, per the
+		// concurrency contract) so scrub write-backs do not allocate.
+		delta := c.bank[bank].delta[:len(data)]
 		for i := range data {
 			delta[i] = old[i] ^ data[i]
 		}
@@ -302,6 +333,8 @@ func (c *Chip) WriteData(bank, row, off int, data []byte) {
 // the stored old data, and the VLEW code-bit update is accumulated in the
 // EUR until row close. The target row is opened implicitly, closing any
 // other open row in the bank (draining its EUR registers).
+//
+//chipkill:noalloc
 func (c *Chip) WriteXOR(bank, row, off int, delta []byte) {
 	base := c.rowBase(bank, row)
 	if off < 0 || off+len(delta) > c.geom.RowDataBytes {
@@ -323,6 +356,8 @@ func (c *Chip) WriteXOR(bank, row, off int, delta []byte) {
 
 // applyCodeDelta folds a data delta into VLEW code bits, either via the
 // EUR (coalesce=true) or immediately.
+//
+//chipkill:noalloc
 func (c *Chip) applyCodeDelta(bank, row, off int, delta []byte, coalesce bool) {
 	// The delta may span multiple VLEWs; split on VLEW boundaries.
 	for len(delta) > 0 {
@@ -339,10 +374,6 @@ func (c *Chip) applyCodeDelta(bank, row, off int, delta []byte, coalesce bool) {
 			// encodes (BCH linearity), at a fraction of the cost.
 			idx := c.eurIndex(bank, v)
 			reg := c.eurDelta[idx]
-			if reg == nil {
-				reg = make([]byte, c.geom.VLEWDataBytes)
-				c.eurDelta[idx] = reg
-			}
 			gf.XORBytes(reg[inOff:inOff+n], delta[:n])
 			if !c.eurSet[idx] {
 				c.eurSet[idx] = true
@@ -356,7 +387,8 @@ func (c *Chip) applyCodeDelta(bank, row, off int, delta []byte, coalesce bool) {
 				}
 			}
 		} else {
-			update := c.enc.EncodeDelta(delta[:n], inOff*8)
+			update := c.bank[bank].parity
+			c.enc.EncodeDeltaInto(update, delta[:n], inOff*8)
 			gf.XORBytes(c.vlewCode(bank, row, v), update)
 			atomic.AddInt64(&c.stats.VLEWCodeWrites, 1)
 		}
@@ -372,11 +404,14 @@ func (c *Chip) applyCodeDelta(bank, row, off int, delta []byte, coalesce bool) {
 // effect), exactly as the per-slot drain always has. The caller must hold
 // whatever exclusion the access path requires and must have checked
 // eurSet[idx].
+//
+//chipkill:noalloc
 func (c *Chip) drainSlot(idx, bank, row, v int) {
 	reg := c.eurDelta[idx]
 	lo, hi := int(c.eurLo[idx]), int(c.eurHi[idx])
 	if !c.failed {
-		update := c.enc.EncodeDelta(reg[lo:hi], lo*8)
+		update := c.bank[bank].parity
+		c.enc.EncodeDeltaInto(update, reg[lo:hi], lo*8)
 		gf.XORBytes(c.vlewCode(bank, row, v), update)
 	}
 	atomic.AddInt64(&c.stats.VLEWCodeWrites, 1)
@@ -403,6 +438,8 @@ func (c *Chip) vlewCode(bank, row, v int) []byte {
 
 // OpenRow activates a row in a bank, closing (and EUR-draining) any other
 // open row first. Opening an already-open row is a no-op (a row hit).
+//
+//chipkill:noalloc
 func (c *Chip) OpenRow(bank, row int) {
 	c.checkAddr(bank, row)
 	if c.openRow[bank] == row {
@@ -419,6 +456,8 @@ func (c *Chip) OpenRow(bank, row int) {
 // register belonging to it into the row's code region (Fig 11: "when
 // receiving a row close request, an NVRAM chip must first drain the
 // coalesced ECC updates").
+//
+//chipkill:noalloc
 func (c *Chip) CloseRow(bank int) {
 	if bank < 0 || bank >= c.geom.Banks {
 		panic(fmt.Sprintf("nvram: bank %d out of range", bank))
@@ -451,19 +490,33 @@ func (c *Chip) CloseAllRows() {
 // internally consistent. A failed chip returns garbage. Safe for
 // concurrent use (see the Chip concurrency contract).
 func (c *Chip) ReadVLEW(bank, row, v int) (data, code []byte) {
+	data = make([]byte, c.geom.VLEWDataBytes)
+	code = make([]byte, c.geom.VLEWCodeBytes)
+	c.ReadVLEWInto(data, code, bank, row, v)
+	return data, code
+}
+
+// ReadVLEWInto is ReadVLEW without the two per-call allocations: it fills
+// caller-owned data (VLEWDataBytes) and code (VLEWCodeBytes) buffers. The
+// scrub loops and the controller's VLEW-fallback correction path reuse one
+// pair of buffers across an entire pass.
+//
+//chipkill:noalloc
+func (c *Chip) ReadVLEWInto(data, code []byte, bank, row, v int) {
+	if len(data) != c.geom.VLEWDataBytes || len(code) != c.geom.VLEWCodeBytes {
+		panic("nvram: ReadVLEWInto size mismatch")
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	base := c.rowBase(bank, row)
 	if v < 0 || v >= c.geom.VLEWsPerRow() {
 		panic(fmt.Sprintf("nvram: VLEW index %d out of range", v))
 	}
-	data = make([]byte, c.geom.VLEWDataBytes)
-	code = make([]byte, c.geom.VLEWCodeBytes)
 	if c.failed {
 		atomic.AddInt64(&c.stats.FailedAccesses, 1)
 		c.rng.Read(data)
 		c.rng.Read(code)
-		return data, code
+		return
 	}
 	if c.openRow[bank] == row {
 		idx := c.eurIndex(bank, v)
@@ -473,7 +526,6 @@ func (c *Chip) ReadVLEW(bank, row, v int) (data, code []byte) {
 	}
 	copy(data, c.cells[base+v*c.geom.VLEWDataBytes:])
 	copy(code, c.vlewCode(bank, row, v))
-	return data, code
 }
 
 // WriteVLEW overwrites a VLEW's data and code regions directly; used by
@@ -496,6 +548,40 @@ func (c *Chip) WriteVLEW(bank, row, v int, data, code []byte) {
 	copy(c.vlewCode(bank, row, v), code)
 	atomic.AddInt64(&c.stats.BitsWritten, int64(8*(len(data)+len(code))))
 	c.rowWear[bank*c.geom.RowsPerBank+row]++
+}
+
+// WriteVLEWRow overwrites several VLEWs of one row in a single locked
+// operation — the scrubs' row-batched write-back. vs lists the VLEW
+// indices to write; datas[i] and codes[i] hold the contents for vs[i].
+// Counters advance exactly as len(vs) individual WriteVLEW calls would,
+// so batching is invisible to stats-based oracles; only the per-VLEW
+// lock/unlock cost is amortised.
+func (c *Chip) WriteVLEWRow(bank, row int, vs []int, datas, codes [][]byte) {
+	if len(vs) != len(datas) || len(vs) != len(codes) {
+		panic("nvram: WriteVLEWRow length mismatch")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	base := c.rowBase(bank, row)
+	for i, v := range vs {
+		data, code := datas[i], codes[i]
+		if v < 0 || v >= c.geom.VLEWsPerRow() {
+			panic(fmt.Sprintf("nvram: VLEW index %d out of range", v))
+		}
+		if len(data) != c.geom.VLEWDataBytes || len(code) != c.geom.VLEWCodeBytes {
+			panic("nvram: WriteVLEWRow size mismatch")
+		}
+		atomic.AddInt64(&c.stats.RawWrites, 1)
+		if c.failed {
+			continue
+		}
+		c.clearSlot(c.eurIndex(bank, v))
+		copy(c.cells[base+v*c.geom.VLEWDataBytes:], data)
+		c.applyStuck(base+v*c.geom.VLEWDataBytes, len(data))
+		copy(c.vlewCode(bank, row, v), code)
+		atomic.AddInt64(&c.stats.BitsWritten, int64(8*(len(data)+len(code))))
+		c.rowWear[bank*c.geom.RowsPerBank+row]++
+	}
 }
 
 // InjectRetentionErrors flips stored bits across the whole array (data and

@@ -217,6 +217,12 @@ func (r *Rank) WriteBlockRaw(block int64, data, check []byte) {
 // of old and new data (and of old and new check bytes) travels to the
 // chips, which recover the new values internally and coalesce VLEW code
 // updates in their EURs.
+//
+// The fan-out itself holds no buffers: each chip owns per-bank scratch for
+// its EUR accumulate and drain-time encode, so the whole 9-chip write chain
+// is allocation-free without threading caller scratch through the rank.
+//
+//chipkill:noalloc
 func (r *Rank) WriteBlockXOR(block int64, deltaData, deltaCheck []byte) {
 	loc := r.Locate(block)
 	n := r.cfg.ChipAccessBytes

@@ -83,6 +83,20 @@ func BenchmarkKernelDecodeErrors(b *testing.B) {
 	}
 }
 
+func BenchmarkKernelDecodeSingleError(b *testing.B) {
+	data, c := benchBlock()
+	check := c.Encode(data)
+	buf := make([]Correction, 0, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data[37] ^= 0x40
+		corr, err := c.DecodeAppend(buf, data, check, nil)
+		if err != nil || len(corr) != 1 {
+			b.Fatalf("corr=%d err=%v", len(corr), err)
+		}
+	}
+}
+
 func BenchmarkKernelDecodeErasures(b *testing.B) {
 	data, c := benchBlock()
 	check := c.Encode(data)

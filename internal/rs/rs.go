@@ -135,13 +135,15 @@ func (c *Code) Encode(data []byte) []byte {
 // EncodeInto computes the r check bytes for the k data bytes into the
 // caller-owned check buffer, allocation-free on the table-driven path. It
 // is Encode for hot paths (the controller's write path reuses one buffer).
+//
+//chipkill:noalloc
 func (c *Code) EncodeInto(check, data []byte) {
 	if len(data) != c.k || len(check) != c.r {
 		panic(fmt.Sprintf("rs: EncodeInto: got %d data and %d check bytes, want %d and %d",
 			len(data), len(check), c.k, c.r))
 	}
 	if c.enc == nil {
-		copy(check, c.EncodePolyDiv(data))
+		copy(check, c.EncodePolyDiv(data)) //chipkill:allow noalloc table-less codes (r > 8) are never on the demand path
 		return
 	}
 	state := c.enc.remainder(data)
@@ -299,6 +301,15 @@ type Correction struct {
 // out-of-range positions are rejected. It returns the corrections applied.
 // On ErrUncorrectable, data and check are unchanged.
 func (c *Code) Decode(data, check []byte, erasures []int) ([]Correction, error) {
+	return c.DecodeAppend(nil, data, check, erasures)
+}
+
+// DecodeAppend is Decode writing its corrections into buf[:0]'s backing
+// array (growing it only when capacity runs out), so steady-state callers —
+// the controller's corrected-read path runs one decode per dirty block —
+// allocate nothing. The returned slice aliases buf; it is valid until the
+// caller's next DecodeAppend with the same buffer.
+func (c *Code) DecodeAppend(buf []Correction, data, check []byte, erasures []int) ([]Correction, error) {
 	c.validate(data, check)
 	if len(erasures) > c.r {
 		return nil, fmt.Errorf("rs: %d erasures exceed capability %d: %w", len(erasures), c.r, ErrUncorrectable)
@@ -328,6 +339,45 @@ func (c *Code) Decode(data, check []byte, erasures []int) ([]Correction, error) 
 	if c.syndromesInto(syn, data, check) {
 		// Nothing to do; erased positions already hold correct values.
 		return nil, nil
+	}
+
+	// Closed-form single-error path: at realistic drift rates the vast
+	// majority of dirty words carry exactly one bad symbol, whose syndromes
+	// form a geometric sequence S_{j+1} = X*S_j. Recognising that shape
+	// costs r multiplies and skips Berlekamp-Massey, the n-position Chien
+	// scan, Forney evaluation and the post-correction syndrome re-check
+	// (the r consistency equations already pin the unique weight-1 errata
+	// pattern, so the corrected word is a codeword by construction).
+	if len(erasures) == 0 && syn[0] != 0 && c.r >= 2 {
+		f := c.f
+		x := f.Div(syn[1], syn[0])
+		if x != 0 {
+			consistent := true
+			for j := 0; j+1 < c.r; j++ {
+				if syn[j+1] != f.Mul(x, syn[j]) {
+					consistent = false
+					break
+				}
+			}
+			if consistent {
+				if d := f.Log(x); d < c.n {
+					mag := byte(f.Div(syn[0], x)) // fcr=1: S_1 = m*X
+					pos := c.degreeToPos(d)
+					var oldV byte
+					if pos < c.k {
+						oldV = data[pos]
+						data[pos] ^= mag
+					} else {
+						oldV = check[pos-c.k]
+						check[pos-c.k] ^= mag
+					}
+					return append(buf[:0], Correction{Pos: pos, Old: oldV, New: oldV ^ mag}), nil
+				}
+				// The geometric ratio points outside the shortened code:
+				// an uncorrectable pattern, but let the general path make
+				// that call so both paths agree on classification.
+			}
+		}
 	}
 
 	// Erasure locator Gamma(x) = prod (1 - X_i x), X_i = alpha^degree,
@@ -428,7 +478,7 @@ func (c *Code) Decode(data, check []byte, erasures []int) ([]Correction, error) 
 	// Chien search across all n coefficient degrees with incremental term
 	// registers: terms[j] tracks lambda[j] * alpha^(-d*j) and advancing d
 	// multiplies term j by alpha^-j via its precomputed table.
-	var corrections []Correction
+	corrections := buf[:0]
 	found := 0
 	terms := sc.terms[:degLambda+1]
 	copy(terms, lambda[:degLambda+1])
@@ -491,7 +541,13 @@ func (c *Code) Decode(data, check []byte, erasures []int) ([]Correction, error) 
 // require more, it returns ErrThreshold and leaves the inputs unchanged,
 // signalling the caller to fall back to VLEW correction (paper Fig. 8/9).
 func (c *Code) DecodeLimited(data, check []byte, threshold int) ([]Correction, error) {
-	corrections, err := c.Decode(data, check, nil)
+	return c.DecodeLimitedAppend(nil, data, check, threshold)
+}
+
+// DecodeLimitedAppend is DecodeLimited with a caller-owned corrections
+// buffer, mirroring DecodeAppend.
+func (c *Code) DecodeLimitedAppend(buf []Correction, data, check []byte, threshold int) ([]Correction, error) {
+	corrections, err := c.DecodeAppend(buf, data, check, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -229,6 +229,50 @@ func TestBeyondCapabilityDetectedOrConsistent(t *testing.T) {
 	t.Logf("beyond-capability: %d/200 flagged uncorrectable", uncorrectable)
 }
 
+// TestSingleErrorEveryPosition sweeps a one-symbol error across every
+// position of the paper's code, exercising the closed-form weight-1 decode
+// path (geometric syndrome recognition) at all data and check offsets, and
+// checks DecodeAppend reuses the caller's buffer without allocating.
+func TestSingleErrorEveryPosition(t *testing.T) {
+	c := paperCode(t)
+	rng := rand.New(rand.NewSource(21))
+	data := make([]byte, c.K())
+	rng.Read(data)
+	check := c.Encode(data)
+	wantData := bytes.Clone(data)
+	wantCheck := bytes.Clone(check)
+	buf := make([]Correction, 0, 8)
+	for pos := 0; pos < c.N(); pos++ {
+		mag := byte(1 + rng.Intn(255))
+		if pos < c.K() {
+			data[pos] ^= mag
+		} else {
+			check[pos-c.K()] ^= mag
+		}
+		corr, err := c.DecodeAppend(buf, data, check, nil)
+		if err != nil {
+			t.Fatalf("pos %d: %v", pos, err)
+		}
+		if len(corr) != 1 || corr[0].Pos != pos || corr[0].Old^corr[0].New != mag {
+			t.Fatalf("pos %d: got corrections %+v, want one at pos with magnitude %#x", pos, corr, mag)
+		}
+		if &corr[0] != &buf[:1][0] {
+			t.Fatalf("pos %d: DecodeAppend did not reuse the caller's buffer", pos)
+		}
+		if !bytes.Equal(data, wantData) || !bytes.Equal(check, wantCheck) {
+			t.Fatalf("pos %d: decode did not restore the codeword", pos)
+		}
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		data[11] ^= 0x5A
+		if _, err := c.DecodeAppend(buf, data, check, nil); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("single-error DecodeAppend allocates %.1f per op, want 0", n)
+	}
+}
+
 func TestDecodeLimitedThreshold(t *testing.T) {
 	// Paper Sec V-C: accept RS corrections only when <= 2; otherwise leave
 	// the block untouched for VLEW fallback.
