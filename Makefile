@@ -1,7 +1,7 @@
 # Standard entry points; scripts/check.sh is the single source of truth
 # for what "passing" means.
 
-.PHONY: all build test race bench benchruntime profile check check-quick campaign soak fuzz vet
+.PHONY: all build test race bench benchruntime profile check check-quick campaign fleet-campaign soak fuzz vet
 
 all: build
 
@@ -20,7 +20,7 @@ test:
 race:
 	go test -race -count=1 ./internal/core/... ./internal/rank/... \
 		./internal/memctrl/... ./internal/sim/... ./internal/inject/... \
-		./internal/engine/... ./internal/guard/...
+		./internal/engine/... ./internal/guard/... ./internal/fleet/...
 
 # Kernel microbenchmarks (per-package, human-readable).
 bench:
@@ -53,6 +53,13 @@ profile:
 # tests.
 campaign:
 	go run ./cmd/faultcampaign -suite standard
+
+# Multi-rank fleet campaigns: rank kills (serial and under concurrent
+# load), repair-from-replica with measured per-block costs, replica
+# divergence healing, replica death mid-repair, and the two-rank
+# double-fault.
+fleet-campaign:
+	go run ./cmd/faultcampaign -suite fleet
 
 soak:
 	go test -tags soak -count=1 -run TestSoakSuite -v ./internal/inject/

@@ -41,10 +41,12 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			fmt.Printf("%s:\n", s)
+			fmt.Printf("%s — %s\n", s, inject.SuiteDescription(s))
 			for _, c := range cs {
-				fmt.Printf("  %-22s %s, %d ops, %d events\n", c.Name, geometry(c), c.Ops, len(c.Events))
+				fmt.Printf("  %-22s %s\n", c.Name, c.Description)
+				fmt.Printf("  %-22s %s, %d ops, %d events\n", "", geometry(c), c.Ops, len(c.Events))
 			}
+			fmt.Println()
 		}
 		return
 	}

@@ -51,6 +51,13 @@ var persistenceCritical = []struct {
 		"MigrateBand": true, "RedoBand": true, "FinishMigration": true,
 		"EnterDegradedMode": true, "AdoptDegradedMode": true, "BeginMigration": true,
 	}},
+	// Fleet calls: a dropped Tick error loses a rank's journal-append
+	// failure, a dropped RepairChip error loses the no-replica fallback
+	// signal, and a dropped ReplicateBand error silently leaves a band
+	// unmirrored that the caller believes is protected.
+	{"internal/fleet", "Fleet", map[string]bool{
+		"Tick": true, "RepairChip": true, "ReplicateBand": true,
+	}},
 }
 
 func isPersistenceCritical(fn *types.Func) bool {

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"sentinelstub/errs"
+	"sentinelstub/internal/fleet"
 	"sentinelstub/internal/guard"
 )
 
@@ -57,4 +58,12 @@ func drops(j *guard.Journal, s *guard.Supervisor) error {
 		return err
 	}
 	return j.AppendDone(2)
+}
+
+func fleetDrops(f *fleet.Fleet) error {
+	f.Tick()               // want `error from persistence-critical sentinelstub/internal/fleet.Fleet.Tick discarded`
+	_ = f.RepairChip(0, 2) // want `error from persistence-critical sentinelstub/internal/fleet.Fleet.RepairChip assigned to _`
+	go f.ReplicateBand(9)  // want `error from persistence-critical sentinelstub/internal/fleet.Fleet.ReplicateBand discarded by go statement`
+	_ = f.Stats()          // not persistence-critical
+	return f.Tick()
 }

@@ -1,0 +1,295 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"chipkillpm/internal/guard"
+	"chipkillpm/internal/rank"
+)
+
+// image reads every currently-servable fleet block into one flat byte
+// slice (unservable blocks contribute a zeroed slot), for
+// byte-determinism comparisons across runs.
+func image(t *testing.T, f *Fleet) []byte {
+	t.Helper()
+	out := make([]byte, f.Blocks()*int64(f.BlockBytes()))
+	buf := make([]byte, f.BlockBytes())
+	for b := int64(0); b < f.Blocks(); b++ {
+		if !f.Servable(b) {
+			continue
+		}
+		if err := f.ReadBlockInto(b, buf); err != nil {
+			t.Fatalf("image read %d: %v", b, err)
+		}
+		copy(out[b*int64(f.BlockBytes()):], buf)
+	}
+	return out
+}
+
+// runDoubleFault is one full double-fault scenario: a two-rank fleet
+// replicating bands both ways, a chip killed on each rank, and both
+// guards required to convict and repair externally — each repair
+// reading its replicas through the *other* (also wounded) rank's
+// corrected-read path. Returns the final data image.
+func runDoubleFault(t *testing.T) []byte {
+	t.Helper()
+	cfg := Config{
+		Ranks: 2, Banks: 2, RowsPerBank: 4, RowBytes: 1024,
+		Seed: 99, ReplicaBands: 8, ReplicatePerTick: -1,
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, f)
+	// Bands alternate ranks with 2 ranks: even bands on rank 0, odd on 1.
+	for _, band := range []int64{0, 2, 4, 1, 3, 5} {
+		if err := f.ReplicateBand(band); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Engine(0).Quiesce(func() { f.Rank(0).FailChip(2) })
+	f.Engine(1).Quiesce(func() { f.Rank(1).FailChip(5) })
+
+	buf := make([]byte, f.BlockBytes())
+	repaired := func() bool {
+		return f.Supervisor(0).Report().ExternalRepairs == 1 &&
+			f.Supervisor(1).Report().ExternalRepairs == 1
+	}
+	for i := 0; i < 800 && !repaired(); i++ {
+		for b := int64(0); b < 16; b++ {
+			if err := f.ReadBlockInto(b*f.BandBlocks(), buf); err != nil {
+				t.Fatalf("demand read: %v", err)
+			}
+		}
+		if err := f.Tick(); err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+	}
+	if !repaired() {
+		t.Fatalf("double fault not repaired: rank0 %+v rank1 %+v",
+			f.Supervisor(0).Report(), f.Supervisor(1).Report())
+	}
+	for i := 0; i < 2; i++ {
+		if d, _ := f.Engine(i).Degraded(); d {
+			t.Fatalf("rank %d went degraded despite replica repair", i)
+		}
+		if f.Engine(i).Telemetry().DUEs != 0 {
+			t.Fatalf("rank %d saw DUEs during double-fault repair", i)
+		}
+		if f.Rank(i).FailedChips() != 0 {
+			t.Fatalf("rank %d still has failed chips", i)
+		}
+	}
+	for b := int64(0); b < f.Blocks(); b++ {
+		checkBlock(t, f, b)
+	}
+	return image(t, f)
+}
+
+func TestDoubleFaultContainment(t *testing.T) {
+	first := runDoubleFault(t)
+	second := runDoubleFault(t)
+	if !bytes.Equal(first, second) {
+		t.Fatal("double-fault scenario not byte-deterministic across runs")
+	}
+}
+
+// runCrashDuringFallback drives the no-replica fallback into a crash: a
+// chip dies on a fleet with replication disabled, the guard's Repair
+// hook declines (ErrNoReplica), the journaled local migration starts, a
+// journal write tears mid-migration (power loss), and Adopt rebuilds the
+// fleet over the surviving ranks and regions — recovery must resume the
+// migration from the journal and finish into degraded mode with every
+// byte intact. Returns the final data image.
+func runCrashDuringFallback(t *testing.T) []byte {
+	t.Helper()
+	cfg := Config{
+		Ranks: 3, Banks: 2, RowsPerBank: 4, RowBytes: 1024,
+		Seed: 7, ReplicaBands: 8, ReplicatePerTick: -1,
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, f)
+	const chip = 3
+	f.Engine(0).Quiesce(func() { f.Rank(0).FailChip(chip) })
+
+	buf := make([]byte, f.BlockBytes())
+	drive := func(fl *Fleet, stop func() bool) {
+		for i := 0; i < 800 && !stop(); i++ {
+			for b := int64(0); b < 8; b++ {
+				if err := fl.ReadBlockInto(b*fl.BandBlocks()+int64(i%32), buf); err != nil {
+					t.Fatalf("demand read: %v", err)
+				}
+			}
+			if err := fl.Tick(); err != nil {
+				t.Fatalf("tick: %v", err)
+			}
+		}
+	}
+	// Run until the journaled migration is well underway...
+	drive(f, func() bool { return f.Engine(0).Stats().BandsMigrated >= 8 })
+	if f.Supervisor(0).State() != guard.StateMigrating {
+		t.Fatalf("rank 0 in %v, want migrating (no-replica fallback)", f.Supervisor(0).State())
+	}
+	// ...then lose power mid-journal-append.
+	f.Region(0).TearNextWrite(20)
+	if err := f.Tick(); err == nil {
+		t.Fatal("tick across the torn journal write reported success")
+	}
+	if !f.Region(0).Crashed() {
+		t.Fatal("tear never fired")
+	}
+
+	// Reboot: volatile state drains, then a new fleet adopts the
+	// surviving ranks and journal regions.
+	var regions []*guard.Region
+	var ranks []*rank.Rank
+	for i := 0; i < f.NumRanks(); i++ {
+		f.Rank(i).CloseAllRows()
+		f.Region(i).Reboot()
+		regions = append(regions, f.Region(i))
+		ranks = append(ranks, f.Rank(i))
+	}
+	f2, err := Adopt(cfg, ranks, regions)
+	if err != nil {
+		t.Fatalf("adopt: %v", err)
+	}
+	rep := f2.Supervisor(0).Report()
+	if !rep.MigrationResumed || rep.State != guard.StateMigrating {
+		t.Fatalf("recovery did not resume the migration: %+v", rep)
+	}
+	drive(f2, func() bool { return f2.Supervisor(0).State() == guard.StateDegraded })
+	if f2.Supervisor(0).State() != guard.StateDegraded {
+		t.Fatalf("resumed migration never finished: %v", f2.Supervisor(0).State())
+	}
+	if d, c := f2.Engine(0).Degraded(); !d || c != chip {
+		t.Fatalf("post-recovery Degraded() = %v, %d", d, c)
+	}
+	for b := int64(0); b < f2.Blocks(); b++ {
+		checkBlock(t, f2, b)
+	}
+	return image(t, f2)
+}
+
+func TestCrashDuringFallbackMigrationResumes(t *testing.T) {
+	first := runCrashDuringFallback(t)
+	second := runCrashDuringFallback(t)
+	if !bytes.Equal(first, second) {
+		t.Fatal("crash-recovery scenario not byte-deterministic across runs")
+	}
+}
+
+// TestConcurrentDemandWithRankKill is the race-coverage test: demand
+// workers hammer disjoint block stripes while the supervision loop
+// replicates hot bands and a rank dies mid-traffic. Acknowledged writes
+// to servable blocks must read back exactly; errors must be typed
+// contained failures, never wrong bytes.
+func TestConcurrentDemandWithRankKill(t *testing.T) {
+	cfg := testConfig()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill(t, f)
+
+	const workers = 4
+	type ws struct {
+		shadow map[int64][]byte
+		err    error
+	}
+	var postKill atomic.Int64
+	killed := make(chan struct{})
+	stop := make(chan struct{})
+	results := make([]ws, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &results[w]
+			res.shadow = make(map[int64][]byte)
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 5))
+			buf := make([]byte, f.BlockBytes())
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b := int64(w) + int64(rng.Intn(int(f.Blocks())/workers))*workers
+				if rng.Intn(3) == 0 {
+					data := make([]byte, f.BlockBytes())
+					rng.Read(data)
+					if err := f.WriteBlock(b, data); err != nil {
+						if !Contained(err) {
+							res.err = err
+							return
+						}
+					} else {
+						res.shadow[b] = data
+					}
+				} else {
+					err := f.ReadBlockInto(b, buf)
+					if err != nil {
+						if !Contained(err) {
+							res.err = err
+							return
+						}
+					} else if want, ok := res.shadow[b]; ok && !bytes.Equal(buf, want) {
+						res.err = errors.New("read returned wrong bytes for acknowledged write")
+						return
+					}
+				}
+				select {
+				case <-killed:
+					postKill.Add(1)
+				default:
+				}
+			}
+		}(w)
+	}
+
+	for i := 0; i < 10; i++ {
+		if err := f.Tick(); err != nil {
+			t.Fatalf("tick: %v", err)
+		}
+	}
+	f.KillRank(1)
+	close(killed)
+	for postKill.Load() < 400 {
+		if err := f.Tick(); err != nil {
+			t.Fatalf("post-kill tick: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	buf := make([]byte, f.BlockBytes())
+	for w := range results {
+		if results[w].err != nil {
+			t.Fatalf("worker %d: %v", w, results[w].err)
+		}
+		for b, want := range results[w].shadow {
+			if !f.Servable(b) {
+				if err := f.ReadBlockInto(b, buf); !errors.Is(err, ErrRankFailed) {
+					t.Fatalf("unservable block %d: %v, want ErrRankFailed", b, err)
+				}
+				continue
+			}
+			if err := f.ReadBlockInto(b, buf); err != nil {
+				t.Fatalf("servable block %d: %v", b, err)
+			}
+			if !bytes.Equal(buf, want) {
+				t.Fatalf("block %d lost an acknowledged write", b)
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Fleet supervision: one Tick fans out to every rank's guard supervisor
+// (telemetry, probes, convictions — which call back into RepairChip),
+// then runs the replication policy and the anti-entropy sweep. One
+// goroutine owns the tick loop; demand traffic never calls in here.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+
+	"chipkillpm/internal/core"
+	"chipkillpm/internal/guard"
+)
+
+// RankStats is one rank's slice of the fleet picture.
+type RankStats struct {
+	Rank   int
+	Killed bool
+	Guard  guard.Report
+	Demand core.Stats
+}
+
+// Stats aggregates the fleet: demand totals across ranks, the
+// replication tier's outcome counters, and every rank's guard report.
+type Stats struct {
+	Ranks      int
+	RanksAlive int
+	Blocks     int64 // fleet demand capacity
+
+	ActiveReplicas  int   // bands currently replicated and live
+	BandsReplicated int64 // bands ever brought to active
+	FailoverReads   int64 // reads served by a replica after primary death
+	FailoverWrites  int64 // writes acknowledged on the replica alone
+	ReadRepairs     int64 // primary DUEs healed from a replica
+	DivergenceFixes int64 // replicas healed by the anti-entropy sweep
+	ContainedDUEs   int64 // reads/writes refused with ErrRankFailed
+	RejectedWrites  int64 // writes refused with ErrRankFailed
+	RankKills       int64
+	ChipRepairs     int64 // RepairChip completions (both paths)
+
+	Demand  core.Stats // summed over ranks
+	PerRank []RankStats
+}
+
+// Tick advances every live rank's guard supervisor one step, then the
+// replication policy and the anti-entropy verifier. Call it from one
+// supervision goroutine between demand batches, like guard.Supervisor's
+// own Tick. A rank's tick error is returned (wrapped with the rank)
+// after the remaining ranks still got their tick; journal append
+// failures there are persistence-critical and must reach the operator.
+func (f *Fleet) Tick() error {
+	var firstErr error
+	for _, n := range f.ranks {
+		if n.killed.Load() {
+			continue
+		}
+		if err := n.sup.Tick(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("fleet: rank %d tick: %w", n.idx, err)
+		}
+	}
+	f.replicateTick()
+	f.verifyTick()
+	return firstErr
+}
+
+// Stats snapshots the fleet. Counters are individually atomic; a
+// snapshot taken against live traffic is approximate in the usual
+// monitoring sense.
+func (f *Fleet) Stats() Stats {
+	s := Stats{
+		Ranks:           len(f.ranks),
+		Blocks:          f.blocks,
+		BandsReplicated: f.replications.Load(),
+		FailoverReads:   f.failoverReads.Load(),
+		FailoverWrites:  f.failoverWrites.Load(),
+		ReadRepairs:     f.readRepairs.Load(),
+		DivergenceFixes: f.divergenceFix.Load(),
+		ContainedDUEs:   f.containedDUEs.Load(),
+		RejectedWrites:  f.rejectedWrites.Load(),
+		RankKills:       f.rankKills.Load(),
+		ChipRepairs:     f.chipRepairs.Load(),
+	}
+	for b := range f.bands {
+		bs := &f.bands[b]
+		if bs.state.Load() == bandActive && !f.ranks[bs.replicaRank.Load()].killed.Load() {
+			s.ActiveReplicas++
+		}
+	}
+	for _, n := range f.ranks {
+		rs := RankStats{
+			Rank:   n.idx,
+			Killed: n.killed.Load(),
+			Guard:  n.sup.Report(),
+			Demand: n.eng.Stats(),
+		}
+		s.Demand.Add(rs.Demand)
+		s.PerRank = append(s.PerRank, rs)
+	}
+	s.RanksAlive = s.Ranks
+	for _, pr := range s.PerRank {
+		if pr.Killed {
+			s.RanksAlive--
+		}
+	}
+	return s
+}
+
+// Contained reports whether an error is a contained fleet failure (a
+// reported DUE by construction) rather than an unexpected fault.
+func Contained(err error) bool {
+	return errors.Is(err, ErrRankFailed) || errors.Is(err, ErrNoReplica)
+}

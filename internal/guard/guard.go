@@ -80,6 +80,14 @@ type Config struct {
 	BandsPerTick int
 	// Seed feeds probe placement.
 	Seed int64
+	// Repair, when non-nil, is consulted on a chip-kill verdict before
+	// any local containment: a fleet-level supervisor can repair the
+	// convicted chip in place (e.g. a byte copy from a replica rank).
+	// Returning nil means the chip is healthy again and the supervisor
+	// goes back to watching; any error falls through to the local
+	// degraded-mode migration path. The hook runs on the supervisor's
+	// tick goroutine and may quiesce the engine.
+	Repair func(chip int) error
 }
 
 func (c Config) withDefaults() Config {
@@ -118,8 +126,11 @@ type Report struct {
 	SuspicionsRaised  int64
 	SuspicionsCleared int64
 	Verdicts          int64
-	MigrationResumed  bool // this supervisor resumed a journaled migration at boot
-	PatrolPos         int64
+	// ExternalRepairs counts verdicts satisfied by the Config.Repair hook
+	// (the chip was rebuilt in place, no migration needed).
+	ExternalRepairs  int64
+	MigrationResumed bool // this supervisor resumed a journaled migration at boot
+	PatrolPos        int64
 }
 
 // Supervisor drives the health loop over one engine. It is single-owner:
@@ -142,8 +153,8 @@ type Supervisor struct {
 	mig       *core.MigrationState
 	patrolPos int64
 
-	resumed                   bool
-	raised, cleared, verdicts int64
+	resumed                            bool
+	raised, cleared, verdicts, extRep int64
 }
 
 // New builds a supervisor over the engine with its journal in region,
@@ -224,6 +235,7 @@ func (s *Supervisor) Report() Report {
 		SuspicionsRaised:  s.raised,
 		SuspicionsCleared: s.cleared,
 		Verdicts:          s.verdicts,
+		ExternalRepairs:   s.extRep,
 		MigrationResumed:  s.resumed,
 		PatrolPos:         s.patrolPos,
 	}
@@ -349,14 +361,32 @@ func (s *Supervisor) probeTick() error {
 	return nil
 }
 
-// convict delivers the chip-kill verdict: journal the migration start
-// and begin the online walk. A chip the scheme cannot migrate around
+// convict delivers the chip-kill verdict: consult the external Repair
+// hook first (a fleet can rebuild the chip from a replica rank without
+// touching the layout), then fall back to journaling the migration start
+// and beginning the online walk. A chip the scheme cannot migrate around
 // (the parity chip) parks the supervisor in StateWounded instead.
 //
 //chipkill:rankwide
 func (s *Supervisor) convict() error {
 	s.verdicts++
 	ci := s.suspect
+	if s.cfg.Repair != nil {
+		if err := s.cfg.Repair(ci); err == nil {
+			// Repaired in place: discard the chip's suspicion window (its
+			// failure telemetry described the dead device, not the rebuilt
+			// one) and resume watching. The pre-repair telemetry was
+			// already folded into rates, so resetting here is enough.
+			s.extRep++
+			s.rates[ci] = 0
+			s.suspect = -1
+			s.state = StateHealthy
+			s.failRounds, s.passRounds = 0, 0
+			return nil
+		}
+		// External repair unavailable (no replica, rank down): contain
+		// locally below, exactly as a single-rank supervisor would.
+	}
 	if ci == s.eng.Rank().ParityChipIndex() {
 		s.state = StateWounded
 		return nil

@@ -12,6 +12,7 @@ import (
 
 	"chipkillpm/internal/core"
 	"chipkillpm/internal/engine"
+	"chipkillpm/internal/fleet"
 	"chipkillpm/internal/rank"
 )
 
@@ -22,6 +23,10 @@ import (
 type Campaign struct {
 	Name string `json:"name"`
 	Seed int64  `json:"seed"`
+
+	// Description is the one-line human summary faultcampaign -list
+	// prints under the suite heading.
+	Description string `json:"description,omitempty"`
 
 	// Rank geometry (paper-shaped chips). Zero values default to
 	// 2 banks x 8 rows x 1024 B rows = 2048 blocks.
@@ -89,6 +94,12 @@ type Campaign struct {
 	// campaigns always drive the sharded engine.
 	Guard *GuardSpec `json:"guard,omitempty"`
 
+	// Fleet switches the campaign to a multi-rank fleet scenario (see
+	// FleetSpec): the demand backend becomes a fleet.Fleet and the
+	// scenario drives rank-scale faults. Mutually exclusive with Guard,
+	// Events, EngineShards, and EngineBatchWrites.
+	Fleet *FleetSpec `json:"fleet,omitempty"`
+
 	Events []Event `json:"events,omitempty"`
 	Expect Expect  `json:"expect"`
 }
@@ -100,9 +111,10 @@ type Harness struct {
 	c      Campaign
 	suite  string
 	rng    *rand.Rand
-	rank   *rank.Rank
-	ctrl   *core.Controller // nil when eng is set
-	eng    *engine.Engine   // nil when ctrl is set
+	rank   *rank.Rank       // nil in fleet mode
+	ctrl   *core.Controller // nil when eng or fleet is set
+	eng    *engine.Engine   // nil when ctrl or fleet is set
+	fleet  *fleet.Fleet     // set only for fleet campaigns
 	oracle *Oracle
 	omv    *omvSource
 	rep    *CampaignReport
@@ -149,28 +161,43 @@ func NewHarness(suite string, c Campaign) (*Harness, error) {
 		c.EngineShards = c.Banks // batched writes go through the engine
 	}
 	seed := campaignSeed(c.Name, c.Seed)
-	r, err := rank.New(rank.PaperConfig(c.Banks, c.RowsPerBank, c.RowBytes, seed+1))
-	if err != nil {
-		return nil, fmt.Errorf("inject: building rank: %w", err)
-	}
 	h := &Harness{
 		c:      c,
 		suite:  suite,
 		rng:    rand.New(rand.NewSource(seed)),
-		rank:   r,
 		oracle: NewOracle(),
 		rep: &CampaignReport{
 			Name:     c.Name,
 			Suite:    suite,
 			Seed:     c.Seed,
 			Geometry: fmt.Sprintf("%dx%dx%dB", c.Banks, c.RowsPerBank, c.RowBytes),
-			Blocks:   r.Blocks(),
 			Ops:      int64(c.Ops),
 			Expect:   c.Expect,
 			Repro:    fmt.Sprintf("go run ./cmd/faultcampaign -suite %s -campaign %s -seed %d", suite, c.Name, c.Seed),
 		},
-		blockBytes: r.Config().BlockBytes(),
 	}
+	if c.Fleet != nil {
+		if c.Guard != nil || len(c.Events) > 0 || c.EngineShards > 0 || c.EngineBatchWrites > 0 {
+			return nil, fmt.Errorf("inject: fleet campaign %q cannot combine guard, events, or engine knobs", c.Name)
+		}
+		spec := c.Fleet.withDefaults()
+		fl, err := fleet.New(h.fleetCfg(spec))
+		if err != nil {
+			return nil, fmt.Errorf("inject: building fleet: %w", err)
+		}
+		h.fleet = fl
+		h.blockBytes = fl.BlockBytes()
+		h.rep.Geometry = fmt.Sprintf("%dr x %dx%dx%dB", spec.Ranks, c.Banks, c.RowsPerBank, c.RowBytes)
+		h.rep.Blocks = fl.Blocks()
+		return h, nil
+	}
+	r, err := rank.New(rank.PaperConfig(c.Banks, c.RowsPerBank, c.RowBytes, seed+1))
+	if err != nil {
+		return nil, fmt.Errorf("inject: building rank: %w", err)
+	}
+	h.rank = r
+	h.rep.Blocks = r.Blocks()
+	h.blockBytes = r.Config().BlockBytes()
 	h.omv = &omvSource{oracle: h.oracle, rng: rand.New(rand.NewSource(seed + 2)), hitRate: c.OMVHitRate}
 	if c.EngineShards > 0 {
 		h.rep.EngineShards = c.EngineShards
@@ -209,11 +236,17 @@ func (h *Harness) Controller() *core.Controller { return h.ctrl }
 // Engine exposes the live engine; nil outside engine mode.
 func (h *Harness) Engine() *engine.Engine { return h.eng }
 
+// Fleet exposes the live fleet; nil outside fleet mode.
+func (h *Harness) Fleet() *fleet.Fleet { return h.fleet }
+
 // Demand-backend indirection: every workload touch of memory goes through
 // these, so serial-controller and sharded-engine campaigns share one code
 // path and must produce identical reports.
 
 func (h *Harness) readBlock(b int64) ([]byte, error) {
+	if h.fleet != nil {
+		return h.fleet.ReadBlock(b)
+	}
 	if h.eng != nil {
 		return h.eng.ReadBlock(b)
 	}
@@ -221,6 +254,9 @@ func (h *Harness) readBlock(b int64) ([]byte, error) {
 }
 
 func (h *Harness) writeBlock(b int64, data []byte) error {
+	if h.fleet != nil {
+		return h.fleet.WriteBlock(b, data)
+	}
 	if h.eng != nil {
 		return h.eng.WriteBlock(b, data)
 	}
@@ -228,6 +264,9 @@ func (h *Harness) writeBlock(b int64, data []byte) error {
 }
 
 func (h *Harness) writeInitial(b int64, data []byte) error {
+	if h.fleet != nil {
+		return h.fleet.WriteBlockInitial(b, data)
+	}
 	if h.eng != nil {
 		return h.eng.WriteBlockInitial(b, data)
 	}
@@ -235,6 +274,9 @@ func (h *Harness) writeInitial(b int64, data []byte) error {
 }
 
 func (h *Harness) stats() core.Stats {
+	if h.fleet != nil {
+		return h.fleet.Stats().Demand
+	}
 	if h.eng != nil {
 		return h.eng.Stats()
 	}
@@ -272,12 +314,18 @@ func (h *Harness) Rank() *rank.Rank { return h.rank }
 func (h *Harness) Run() *CampaignReport {
 	start := time.Now()
 	h.initWorkingSet()
-	if h.c.Guard != nil {
+	switch {
+	case h.c.Fleet != nil:
+		h.runFleet()
+		h.fleetSweep() // every committed block: byte-exact or typed-contained
+		h.captureFleetStats()
+	case h.c.Guard != nil:
 		h.runGuard()
-	} else {
+		h.sweep()
+	default:
 		h.runScripted()
+		h.sweep() // final byte-for-byte verification of every committed block
 	}
-	h.sweep() // final byte-for-byte verification of every committed block
 	h.rep.ElapsedMS = time.Since(start).Milliseconds()
 	h.rep.finish()
 	return h.rep
@@ -313,9 +361,17 @@ func RunCampaign(suite string, c Campaign) *CampaignReport {
 	return h.Run()
 }
 
-// initWorkingSet commits WorkingSet blocks, strided across the rank.
+// totalBlocks is the demand backend's block capacity.
+func (h *Harness) totalBlocks() int64 {
+	if h.fleet != nil {
+		return h.fleet.Blocks()
+	}
+	return h.rank.Blocks()
+}
+
+// initWorkingSet commits WorkingSet blocks, strided across the backend.
 func (h *Harness) initWorkingSet() {
-	total := h.rank.Blocks()
+	total := h.totalBlocks()
 	ws := int64(h.c.WorkingSet)
 	if ws <= 0 || ws > total {
 		ws = total

@@ -85,6 +85,9 @@ type CampaignReport struct {
 	// Guard summarises the supervisor run for guard campaigns.
 	Guard *GuardReport `json:"guard,omitempty"`
 
+	// Fleet summarises the multi-rank run for fleet campaigns.
+	Fleet *FleetReport `json:"fleet,omitempty"`
+
 	Expect        Expect    `json:"expect"`
 	Failures      []Failure `json:"failures,omitempty"`
 	FailuresTotal int       `json:"failures_total"`
@@ -146,6 +149,47 @@ type GuardReport struct {
 	MigrationResumed   bool   `json:"migration_resumed,omitempty"`
 }
 
+// FleetReport summarises a multi-rank fleet scenario: the replication
+// tier's outcome counters, the containment split after rank-scale
+// faults, and the measured per-block cost of both chip-repair paths.
+type FleetReport struct {
+	Scenario   string `json:"scenario"`
+	Ranks      int    `json:"ranks"`
+	RanksAlive int    `json:"ranks_alive"`
+
+	ActiveReplicas  int   `json:"active_replicas"`
+	BandsReplicated int64 `json:"bands_replicated"`
+	FailoverReads   int64 `json:"failover_reads"`
+	FailoverWrites  int64 `json:"failover_writes"`
+	ReadRepairs     int64 `json:"read_repairs"`
+	DivergenceFixes int64 `json:"divergence_fixes"`
+	ContainedDUEs   int64 `json:"contained_dues"`
+	RejectedWrites  int64 `json:"rejected_writes"`
+	RankKills       int64 `json:"rank_kills"`
+	ChipRepairs     int64 `json:"chip_repairs"`
+
+	// Verdicts and ExternalRepairs are summed over the ranks' guards.
+	Verdicts        int64 `json:"verdicts"`
+	ExternalRepairs int64 `json:"external_repairs"`
+
+	// SweptContained counts final-sweep reads of unservable blocks that
+	// correctly returned the typed contained failure (never counted as
+	// campaign DUEs: the fleet reported them by construction).
+	SweptContained int64 `json:"swept_contained"`
+
+	// Scenario-specific counters.
+	AckedAfterKill    int64 `json:"acked_after_kill,omitempty"`
+	ReplicasCorrupted int64 `json:"replicas_corrupted,omitempty"`
+	WorkerOps         int64 `json:"worker_ops,omitempty"`
+	OpsAfterKill      int64 `json:"ops_after_kill,omitempty"`
+
+	// Measured chip-repair cost per block, by path; the speedup is
+	// erasure/replica (>1 means the replica byte copy won).
+	RepairReplicaNSPerBlock float64 `json:"repair_replica_ns_per_block,omitempty"`
+	RepairErasureNSPerBlock float64 `json:"repair_erasure_ns_per_block,omitempty"`
+	RepairSpeedup           float64 `json:"repair_speedup,omitempty"`
+}
+
 // Summary renders the one-line human summary used by the CLI and tests.
 func (r *CampaignReport) Summary() string {
 	verdict := "PASS"
@@ -156,6 +200,16 @@ func (r *CampaignReport) Summary() string {
 	if g := r.Guard; g != nil {
 		guard = fmt.Sprintf(" guard[%s: %s bands=%d overlap=%d]",
 			g.Scenario, g.State, g.BandsMigrated, g.OpsDuringMigration)
+	}
+	if f := r.Fleet; f != nil {
+		guard = fmt.Sprintf(" fleet[%s: ranks=%d/%d replicas=%d failover=%d/%d contained=%d",
+			f.Scenario, f.RanksAlive, f.Ranks, f.ActiveReplicas,
+			f.FailoverReads, f.FailoverWrites, f.ContainedDUEs)
+		if f.RepairSpeedup > 0 {
+			guard += fmt.Sprintf(" repair=%.0f/%.0fns/blk (%.2gx)",
+				f.RepairReplicaNSPerBlock, f.RepairErasureNSPerBlock, f.RepairSpeedup)
+		}
+		guard += "]"
 	}
 	return fmt.Sprintf("%-22s reads=%-7d writes=%-6d corrected=%-5d fallback=%d (%.4f%%) due=%d sdc=%d%s %s",
 		r.Name, r.Reads, r.Writes, r.CorrectedRS, r.Fallback, r.FallbackRate*100, r.DUE, r.SDC, guard, verdict)

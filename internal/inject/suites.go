@@ -8,7 +8,29 @@ import "fmt"
 var paperFallbackBand = Band{Lo: 0.9e-4, Hi: 3.6e-4}
 
 // SuiteNames lists the named suites in presentation order.
-func SuiteNames() []string { return []string{"smoke", "standard", "guard", "soak", "escape"} }
+func SuiteNames() []string {
+	return []string{"smoke", "standard", "guard", "fleet", "soak", "escape"}
+}
+
+// SuiteDescription returns the one-line summary -list prints for a suite.
+func SuiteDescription(name string) string {
+	switch name {
+	case "smoke":
+		return "seconds-scale gate: one campaign per headline mechanism"
+	case "standard":
+		return "acceptance gate: every claimed fault class at runtime RBERs"
+	case "guard":
+		return "self-healing runtime: supervisor detect/convict/migrate in the loop"
+	case "fleet":
+		return "multi-rank fleet: replication, rank kills, repair-from-replica"
+	case "soak":
+		return "deep campaigns kept out of the default run (full kill matrix)"
+	case "escape":
+		return "documented trust boundary: the one fault the scheme cannot see"
+	default:
+		return ""
+	}
+}
 
 // Suite returns the campaign list for a named suite, parameterised by the
 // base seed (each campaign further mixes in its own name).
@@ -20,6 +42,8 @@ func Suite(name string, seed int64) ([]Campaign, error) {
 		return standardSuite(seed), nil
 	case "guard":
 		return guardSuite(seed), nil
+	case "fleet":
+		return fleetSuite(seed), nil
 	case "soak":
 		return soakSuite(seed), nil
 	case "escape":
@@ -34,19 +58,19 @@ func Suite(name string, seed int64) ([]Campaign, error) {
 func smokeSuite(seed int64) []Campaign {
 	return []Campaign{
 		{
-			// Runtime drift at the top of the paper's runtime RBER band:
-			// every read must come back byte-exact with zero DUEs.
-			Name: "smoke-drift", Seed: seed,
-			Ops: 2000, WriteFrac: 0.3, OMVHitRate: 0.7,
+			Name:        "smoke-drift",
+			Description: "runtime drift at the top RBER: byte-exact reads, zero DUEs",
+			Seed:        seed,
+			Ops:         2000, WriteFrac: 0.3, OMVHitRate: 0.7,
 			Events: []Event{
 				{AtOp: 0, Kind: EvDrift, RBER: 2e-4},
 			},
 		},
 		{
-			// Whole-chip kill mid-run: reads switch to RS erasure
-			// reconstruction, writes keep landing, nothing is lost.
-			Name: "smoke-chipkill", Seed: seed,
-			Banks: 1, RowsPerBank: 4, RowBytes: 1024,
+			Name:        "smoke-chipkill",
+			Description: "whole-chip kill mid-run: RS erasure reads, no lost writes",
+			Seed:        seed,
+			Banks:       1, RowsPerBank: 4, RowBytes: 1024,
 			Ops: 1000, WriteFrac: 0.3, OMVHitRate: 0.7,
 			Events: []Event{
 				{AtOp: 300, Kind: EvDrift, RBER: 7e-5},
@@ -54,10 +78,9 @@ func smokeSuite(seed int64) []Campaign {
 			},
 		},
 		{
-			// Same drift campaign driven through the sharded engine: the
-			// engine backend must survive a fault campaign with zero
-			// SDC/DUE just like the bare controller.
-			Name: "smoke-drift-engine", Seed: seed,
+			Name:         "smoke-drift-engine",
+			Description:  "the drift campaign through the sharded engine backend",
+			Seed:         seed,
 			EngineShards: 2,
 			Ops:          2000, WriteFrac: 0.3, OMVHitRate: 0.7,
 			Events: []Event{
@@ -65,10 +88,10 @@ func smokeSuite(seed int64) []Campaign {
 			},
 		},
 		{
-			// Crash-and-reboot: volatile state dropped, outage drift at
-			// boot-scale RBER, BootScrub, then byte-for-byte persistence.
-			Name: "smoke-crash", Seed: seed,
-			Ops: 600, WriteFrac: 0.4, OMVHitRate: 0.7,
+			Name:        "smoke-crash",
+			Description: "crash/reboot: outage drift, BootScrub, byte-exact persistence",
+			Seed:        seed,
+			Ops:         600, WriteFrac: 0.4, OMVHitRate: 0.7,
 			Events: []Event{
 				{AtOp: 400, Kind: EvCrashReboot, RBER: 1e-3},
 			},
@@ -93,31 +116,29 @@ func standardSuite(seed int64) []Campaign {
 	}
 	return []Campaign{
 		{
-			// Low end of the runtime RBER band: reads should be almost
-			// entirely clean or RS-corrected.
-			Name: "runtime-drift-low", Seed: seed,
-			Ops: 4000, WriteFrac: 0.3, OMVHitRate: 0.7,
+			Name:        "runtime-drift-low",
+			Description: "low runtime RBER: reads almost entirely clean or RS-corrected",
+			Seed:        seed,
+			Ops:         4000, WriteFrac: 0.3, OMVHitRate: 0.7,
 			Events: []Event{
 				{AtOp: 0, Kind: EvDrift, RBER: 7e-5},
 				{AtOp: 2000, Kind: EvDrift, RBER: 7e-5},
 			},
 		},
 		{
-			// Fallback-rate measurement (Sec V-C): repeated fresh-drift
-			// sweeps at RBER 2e-4 over a larger rank; the VLEW-fallback
-			// rate must land within 2x of the paper's ~0.018% and the
-			// fallback path must actually engage.
-			Name: "fallback-rate", Seed: seed,
-			Banks: 4, RowsPerBank: 16, RowBytes: 1024,
+			Name:        "fallback-rate",
+			Description: "VLEW-fallback rate pinned within 2x of the paper's ~0.018%",
+			Seed:        seed,
+			Banks:       4, RowsPerBank: 16, RowBytes: 1024,
 			Ops:    0,
 			Events: fallbackEvents,
 			Expect: Expect{FallbackRate: &paperFallbackBand, MinFallback: 10},
 		},
 		{
-			// Write-path stress: XOR-delta corruption on the chip bus plus
-			// targeted flips in the data, VLEW-code, and parity regions.
-			Name: "write-stress", Seed: seed,
-			Ops: 6000, WriteFrac: 0.5, OMVHitRate: 0.6,
+			Name:        "write-stress",
+			Description: "XOR-delta bus faults plus targeted data/code/parity flips",
+			Seed:        seed,
+			Ops:         6000, WriteFrac: 0.5, OMVHitRate: 0.6,
 			Events: []Event{
 				{AtOp: 500, Kind: EvDeltaCorrupt},
 				{AtOp: 1500, Kind: EvDeltaCorrupt},
@@ -131,10 +152,10 @@ func standardSuite(seed int64) []Campaign {
 			},
 		},
 		{
-			// Two full crash/reboot cycles at boot-scale RBER with a
-			// parallel scrub pool and a concurrent stats monitor.
-			Name: "crash-reboot", Seed: seed,
-			Ops: 3000, WriteFrac: 0.4, OMVHitRate: 0.7,
+			Name:        "crash-reboot",
+			Description: "two crash cycles with a parallel scrub pool and stats monitor",
+			Seed:        seed,
+			Ops:         3000, WriteFrac: 0.4, OMVHitRate: 0.7,
 			ScrubWorkers: 4, ProbeStatsDuringScrub: true,
 			Events: []Event{
 				{AtOp: 1000, Kind: EvCrashReboot, RBER: 1e-3},
@@ -142,10 +163,10 @@ func standardSuite(seed int64) []Campaign {
 			},
 		},
 		{
-			// Chip kill at runtime with drift already in the array: every
-			// later read reconstructs the dead chip via RS erasure.
-			Name: "chipkill-runtime", Seed: seed,
-			Banks: 1, RowsPerBank: 8, RowBytes: 1024,
+			Name:        "chipkill-runtime",
+			Description: "chip kill with drift present: every later read erasure-decodes",
+			Seed:        seed,
+			Banks:       1, RowsPerBank: 8, RowBytes: 1024,
 			Ops: 2500, WriteFrac: 0.3, OMVHitRate: 0.7,
 			Events: []Event{
 				{AtOp: 500, Kind: EvDrift, RBER: 7e-5},
@@ -153,31 +174,30 @@ func standardSuite(seed int64) []Campaign {
 			},
 		},
 		{
-			// Chip kill, then crash: the reboot scrub must rebuild the
-			// dead chip from RS erasure and re-encode its VLEW code bits.
-			Name: "chipkill-rebuild", Seed: seed,
-			Ops: 2000, WriteFrac: 0.3, OMVHitRate: 0.7,
+			Name:        "chipkill-rebuild",
+			Description: "chip kill then crash: reboot scrub rebuilds the dead chip",
+			Seed:        seed,
+			Ops:         2000, WriteFrac: 0.3, OMVHitRate: 0.7,
 			Events: []Event{
 				{AtOp: 800, Kind: EvChipKill, Chip: 5},
 				{AtOp: 1400, Kind: EvCrashReboot, RBER: 3e-4},
 			},
 		},
 		{
-			// Parity-chip kill: runtime reads lose the RS check but keep
-			// the data; the reboot scrub re-encodes the parity chip.
-			Name: "parity-kill", Seed: seed,
-			Ops: 1500, WriteFrac: 0.3, OMVHitRate: 0.7,
+			Name:        "parity-kill",
+			Description: "parity-chip kill: data survives, reboot re-encodes the parity",
+			Seed:        seed,
+			Ops:         1500, WriteFrac: 0.3, OMVHitRate: 0.7,
 			Events: []Event{
 				{AtOp: 500, Kind: EvChipKill, Chip: ChipParity},
 				{AtOp: 1000, Kind: EvCrashReboot, RBER: 1e-4},
 			},
 		},
 		{
-			// Degraded (remapped) mode, Sec V-E: fail a data chip, remap it
-			// into the parity chip with striped VLEWs, then keep serving
-			// reads and writes under drift.
-			Name: "degraded-mode", Seed: seed,
-			Banks: 1, RowsPerBank: 4, RowBytes: 512,
+			Name:        "degraded-mode",
+			Description: "Sec V-E remapped mode serving reads and writes under drift",
+			Seed:        seed,
+			Banks:       1, RowsPerBank: 4, RowBytes: 512,
 			Ops: 2000, WriteFrac: 0.3, OMVHitRate: 0.5,
 			Events: []Event{
 				{AtOp: 600, Kind: EvChipKill, Chip: 3},
@@ -194,30 +214,84 @@ func standardSuite(seed int64) []Campaign {
 func guardSuite(seed int64) []Campaign {
 	return []Campaign{
 		{
-			// A data chip dies under concurrent demand traffic; the
-			// supervisor detects it from telemetry, convicts it with
-			// probes, and migrates the rank online — workers never pause,
-			// and some of their ops must land mid-migration.
-			Name: "guard-chipkill-load", Seed: seed,
-			Banks: 4, RowsPerBank: 8, RowBytes: 1024,
+			Name:        "guard-chipkill-load",
+			Description: "chip dies under live traffic; online conviction and migration",
+			Seed:        seed,
+			Banks:       4, RowsPerBank: 8, RowBytes: 1024,
 			Ops: 200, WriteFrac: 0.3, OMVHitRate: 0.7,
 			Guard: &GuardSpec{Scenario: ScenarioChipKillUnderLoad, Workers: 4, KillChip: 2},
 		},
 		{
-			// Power loss tears a journal write mid-migration; the reboot
-			// supervisor must resume from the journal, redo the in-doubt
-			// band, and finish with every block intact.
-			Name: "guard-crash-migration", Seed: seed,
-			Ops: 0, WriteFrac: 0.3, OMVHitRate: 0.7,
+			Name:        "guard-crash-migration",
+			Description: "journal write tears mid-migration; reboot resumes and finishes",
+			Seed:        seed,
+			Ops:         0, WriteFrac: 0.3, OMVHitRate: 0.7,
 			Guard: &GuardSpec{Scenario: ScenarioCrashDuringMigration, KillChip: 1, CrashAfterBands: 8},
 		},
 		{
-			// A dead VLEW on a healthy chip floods the failure telemetry;
-			// the probe rounds must acquit — zero verdicts, zero spurious
-			// migrations.
-			Name: "guard-transient-storm", Seed: seed,
-			Ops: 0, WriteFrac: 0.3, OMVHitRate: 0.7,
+			Name:        "guard-transient-storm",
+			Description: "telemetry storm from a healthy chip; probes must acquit",
+			Seed:        seed,
+			Ops:         0, WriteFrac: 0.3, OMVHitRate: 0.7,
 			Guard: &GuardSpec{Scenario: ScenarioTransientStorm, StormChip: 3},
+		},
+	}
+}
+
+// fleetSuite drives the multi-rank fleet: replication placement, whole-
+// rank kills under load, telemetry-directed replication feeding
+// repair-from-replica, anti-entropy, and the double-fault matrix. Every
+// campaign holds the fleet to zero SDC and zero unreported DUEs —
+// rank-scale losses must surface as the typed contained failure.
+func fleetSuite(seed int64) []Campaign {
+	return []Campaign{
+		{
+			Name:        "fleet-rank-kill",
+			Description: "whole-rank kill: replicated bands fail over, the rest contain",
+			Seed:        seed,
+			RowsPerBank: 4,
+			Ops:         800, WriteFrac: 0.3,
+			Fleet: &FleetSpec{Scenario: ScenarioFleetRankKill},
+		},
+		{
+			Name:        "fleet-rank-kill-load",
+			Description: "rank kill under concurrent demand: no acked write lost",
+			Seed:        seed,
+			RowsPerBank: 4,
+			Ops:         0, WriteFrac: 0.3,
+			Fleet: &FleetSpec{Scenario: ScenarioFleetRankKillLoad},
+		},
+		{
+			Name:        "fleet-chip-repair",
+			Description: "telemetry-led replication, then chip conviction repaired from replicas",
+			Seed:        seed,
+			RowsPerBank: 4,
+			Ops:         0, WriteFrac: 0.3,
+			Fleet: &FleetSpec{Scenario: ScenarioFleetChipRepair},
+		},
+		{
+			Name:        "fleet-replica-divergence",
+			Description: "silently diverged replicas healed by anti-entropy, proven by failover",
+			Seed:        seed,
+			RowsPerBank: 4,
+			Ops:         0, WriteFrac: 0.3,
+			Fleet: &FleetSpec{Scenario: ScenarioFleetDivergence},
+		},
+		{
+			Name:        "fleet-kill-during-repair",
+			Description: "replica rank dies mid-chip-repair; erasure fallback finishes it",
+			Seed:        seed,
+			RowsPerBank: 4,
+			Ops:         0, WriteFrac: 0.3,
+			Fleet: &FleetSpec{Scenario: ScenarioFleetKillMidRepair},
+		},
+		{
+			Name:        "fleet-double-fault",
+			Description: "one chip down on each of two ranks; both repair via the other",
+			Seed:        seed,
+			RowsPerBank: 4,
+			Ops:         0, WriteFrac: 0.3,
+			Fleet: &FleetSpec{Scenario: ScenarioFleetDoubleFault, Ranks: 2},
 		},
 	}
 }
@@ -229,8 +303,10 @@ func guardSuite(seed int64) []Campaign {
 func escapeSuite(seed int64) []Campaign {
 	return []Campaign{
 		{
-			Name: "omv-escape", Seed: seed,
-			Ops: 400, WriteFrac: 1.0, OMVHitRate: 1.0,
+			Name:        "omv-escape",
+			Description: "OMV corrupted below the LLC ECC: only the oracle sees the SDC",
+			Seed:        seed,
+			Ops:         400, WriteFrac: 1.0, OMVHitRate: 1.0,
 			Events: []Event{
 				{AtOp: 200, Kind: EvOMVCorrupt},
 			},
@@ -254,15 +330,19 @@ func soakSuite(seed int64) []Campaign {
 	}
 	cs := []Campaign{
 		{
-			Name: "soak-drift", Seed: seed,
-			Banks: 4, RowsPerBank: 32, RowBytes: 2048,
+			Name:        "soak-drift",
+			Description: "eight drift/sweep/scrub rounds over a larger rank",
+			Seed:        seed,
+			Banks:       4, RowsPerBank: 32, RowBytes: 2048,
 			Ops: rounds * 2500, WriteFrac: 0.3, OMVHitRate: 0.7,
 			Events: driftEvents,
 			Expect: Expect{MinFallback: 10},
 		},
 		{
-			Name: "soak-crash-cycles", Seed: seed,
-			Banks: 4, RowsPerBank: 16, RowBytes: 1024,
+			Name:        "soak-crash-cycles",
+			Description: "five crash cycles at boot-scale RBER with parallel scrubs",
+			Seed:        seed,
+			Banks:       4, RowsPerBank: 16, RowBytes: 1024,
 			Ops: 10000, WriteFrac: 0.4, OMVHitRate: 0.7,
 			ScrubWorkers: 8, ProbeStatsDuringScrub: true,
 			Events: []Event{
@@ -279,13 +359,17 @@ func soakSuite(seed int64) []Campaign {
 	for ci := 0; ci < 9; ci++ {
 		chip := ci
 		name := fmt.Sprintf("soak-kill-chip%d", ci)
+		desc := fmt.Sprintf("kill data chip %d mid-run, rebuild across a crash", ci)
 		if ci == 8 {
 			chip = ChipParity
 			name = "soak-kill-parity"
+			desc = "kill the parity chip mid-run, rebuild across a crash"
 		}
 		cs = append(cs, Campaign{
-			Name: name, Seed: seed,
-			Ops: 2000, WriteFrac: 0.3, OMVHitRate: 0.7,
+			Name:        name,
+			Description: desc,
+			Seed:        seed,
+			Ops:         2000, WriteFrac: 0.3, OMVHitRate: 0.7,
 			Events: []Event{
 				{AtOp: 700, Kind: EvChipKill, Chip: chip},
 				{AtOp: 1400, Kind: EvCrashReboot, RBER: 2e-4},

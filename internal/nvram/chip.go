@@ -542,7 +542,14 @@ func (c *Chip) WriteVLEW(bank, row, v int, data, code []byte) {
 	if c.failed {
 		return
 	}
-	c.clearSlot(c.eurIndex(bank, v))
+	// An EUR slot is addressed by (bank, vlew) and belongs to the bank's
+	// OPEN row. Discard it only when overwriting that row's word; writing
+	// a closed row (patrol fixing a cold VLEW while demand traffic holds a
+	// different row open) must leave the open row's pending code update
+	// armed, or its VLEW is left with stale code bits.
+	if c.openRow[bank] == row {
+		c.clearSlot(c.eurIndex(bank, v))
+	}
 	copy(c.cells[base+v*c.geom.VLEWDataBytes:], data)
 	c.applyStuck(base+v*c.geom.VLEWDataBytes, len(data))
 	copy(c.vlewCode(bank, row, v), code)
@@ -575,7 +582,9 @@ func (c *Chip) WriteVLEWRow(bank, row int, vs []int, datas, codes [][]byte) {
 		if c.failed {
 			continue
 		}
-		c.clearSlot(c.eurIndex(bank, v))
+		if c.openRow[bank] == row { // see WriteVLEW: the slot is the open row's
+			c.clearSlot(c.eurIndex(bank, v))
+		}
 		copy(c.cells[base+v*c.geom.VLEWDataBytes:], data)
 		c.applyStuck(base+v*c.geom.VLEWDataBytes, len(data))
 		copy(c.vlewCode(bank, row, v), code)

@@ -65,3 +65,51 @@ func TestEURDeferredDrainMatchesImmediate(t *testing.T) {
 		t.Fatalf("deferred drain did not coalesce: %d code writes vs %d immediate", d, i)
 	}
 }
+
+// TestWriteVLEWPreservesOpenRowEUR pins the EUR addressing contract that
+// the fleet's chip-repair campaigns flushed out: an EUR slot is addressed
+// by (bank, vlew) and belongs to the bank's OPEN row, so a wholesale
+// VLEW overwrite of a CLOSED row (patrol scrub fixing a cold word while
+// demand traffic holds another row open) must leave the open row's
+// pending code update armed. Discarding it leaves the open row's VLEW
+// with stale code bits — BCH-uncorrectable at best, silently
+// miscorrected at worst.
+func TestWriteVLEWPreservesOpenRowEUR(t *testing.T) {
+	c := newTestChip(t)
+	code := testEncoder(t)
+	rng := rand.New(rand.NewSource(9))
+
+	// Demand write: open row 1, arming an EUR delta for (bank 0, vlew 2).
+	delta := make([]byte, 64)
+	rng.Read(delta)
+	c.WriteXOR(0, 1, 2*testGeom.VLEWDataBytes, delta)
+
+	// Patrol-style write-back to the SAME (bank, vlew) of a DIFFERENT,
+	// closed row: read the word, write it straight back.
+	data, vcode := c.ReadVLEW(0, 5, 2)
+	c.WriteVLEW(0, 5, 2, data, vcode)
+
+	// Closing the open row must still drain the pending update, leaving
+	// row 1's VLEW 2 internally consistent.
+	c.CloseRow(0)
+	data, vcode = c.ReadVLEW(0, 1, 2)
+	if fixed, err := code.Decode(data, vcode[:code.ParityBytes()]); err != nil || fixed != 0 {
+		t.Fatalf("open row's VLEW inconsistent after closed-row write-back: fixed=%d err=%v", fixed, err)
+	}
+
+	// And overwriting the OPEN row's word wholesale must still discard
+	// the slot: arm another delta, overwrite, close — the stale delta
+	// must not be drained on top of the fresh contents.
+	rng.Read(delta)
+	c.WriteXOR(0, 3, 2*testGeom.VLEWDataBytes, delta)
+	fresh := make([]byte, testGeom.VLEWDataBytes)
+	rng.Read(fresh)
+	fcode := make([]byte, testGeom.VLEWCodeBytes)
+	copy(fcode, code.Encode(fresh))
+	c.WriteVLEW(0, 3, 2, fresh, fcode)
+	c.CloseRow(0)
+	data, vcode = c.ReadVLEW(0, 3, 2)
+	if fixed, err := code.Decode(data, vcode[:code.ParityBytes()]); err != nil || fixed != 0 {
+		t.Fatalf("stale EUR drained over wholesale overwrite: fixed=%d err=%v", fixed, err)
+	}
+}

@@ -47,10 +47,10 @@ echo "== go test"
 go test ./... -count=1
 
 if ! $quick; then
-	echo "== go test -race (core, rank, memctrl, sim, inject, engine, guard)"
+	echo "== go test -race (core, rank, memctrl, sim, inject, engine, guard, fleet)"
 	go test -race -count=1 ./internal/core/... ./internal/rank/... \
 		./internal/memctrl/... ./internal/sim/... ./internal/inject/... \
-		./internal/engine/... ./internal/guard/...
+		./internal/engine/... ./internal/guard/... ./internal/fleet/...
 
 	echo "== fuzz smoke (10s per decoder)"
 	go test ./internal/bch/ -fuzz=FuzzDecode -fuzztime=10s
@@ -59,6 +59,9 @@ if ! $quick; then
 
 	echo "== fault campaigns (standard suite)"
 	go run ./cmd/faultcampaign -suite standard
+
+	echo "== fault campaigns (fleet suite)"
+	go run ./cmd/faultcampaign -suite fleet
 
 	echo "== kernel benchmarks -> BENCH_kernels.json"
 	go run ./cmd/benchkernels -check
