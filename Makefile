@@ -9,7 +9,8 @@ build:
 	go build ./...
 
 # Contract analyzers (internal/analysis) on top of stock go vet: the
-# noalloc/shardlock/sentinel/bankaccess rules over the whole repo.
+# noalloc/shardlock/sentinel/bankaccess/seqlock/lockorder/guardedby
+# rules over the whole repo.
 vet:
 	go vet ./...
 	go run ./cmd/chipkillvet ./...

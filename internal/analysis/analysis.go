@@ -25,6 +25,30 @@
 //	    stores outside its locals/parameters and calls to anything but
 //	    sync/atomic, encoding/binary, builtins/conversions, and other
 //	    seqread functions.
+//	//chipkill:lock <name> level=<n> [ranked]
+//	    Declares a lock in the fleet-wide partial order. On a mutex
+//	    struct field it names that mutex; on a function declaration it
+//	    declares a scoped (virtual) lock held for the duration of every
+//	    call (the quiesce pattern). Levels must strictly increase along
+//	    any acquisition chain; "ranked" permits holding several
+//	    instances of the lock at once provided they are taken in
+//	    ascending index order. Enforced by the lockorder analyzer.
+//	//chipkill:locks <name> / //chipkill:unlocks <name>
+//	    The function performs an unbalanced acquire/release of the named
+//	    lock (the seqlock lockWrite/unlockWrite pair): callers hold the
+//	    lock from the locks-call until the unlocks-call.
+//	//chipkill:holds <name>
+//	    The function requires the named lock to be held on entry; the
+//	    lockorder analyzer verifies every call site and assumes the lock
+//	    held inside the body.
+//	//chipkill:guardedby <name> [<name>...]
+//	    On a struct field: the field may only be accessed while one of
+//	    the named locks is held (lexically, through annotated helpers,
+//	    or inside a scoped-lock extent). Enforced by guardedby.
+//	//chipkill:atomic
+//	    On a struct field: the field may only be accessed through
+//	    sync/atomic (method calls on atomic.* types, or the field's
+//	    address passed to a sync/atomic function). Enforced by guardedby.
 //	//chipkill:allow <analyzer> <reason>
 //	    False-positive escape hatch. On a function's doc comment it
 //	    silences <analyzer> for the whole function; on or immediately
@@ -37,6 +61,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -106,7 +131,26 @@ type Suite struct {
 	facts          map[string]funcFact // alloc facts keyed by symbol key
 	allocSummaries map[declKey]*allocSummary
 	allocLocals    []allocLocal
+	locks          *lockGraph // lock declarations + per-body scans
 	diags          []Diagnostic
+}
+
+// TargetPaths returns the canonical import paths of the packages matched
+// by the load patterns (one entry per path, sorted), so callers can
+// assert coverage of a suite run.
+func (s *Suite) TargetPaths() []string {
+	seen := map[string]bool{}
+	for _, pkg := range s.pkgs {
+		if pkg.IsTarget {
+			seen[pkg.PkgPath] = true
+		}
+	}
+	paths := make([]string, 0, len(seen))
+	for p := range seen {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
 }
 
 // NewSuite builds a suite over the given analyzers.
@@ -118,9 +162,9 @@ func NewSuite(analyzers ...*Analyzer) *Suite {
 	}
 }
 
-// DefaultAnalyzers returns chipkillvet's five contract analyzers.
+// DefaultAnalyzers returns chipkillvet's seven contract analyzers.
 func DefaultAnalyzers() []*Analyzer {
-	return []*Analyzer{NoAlloc, ShardLock, Sentinel, BankAccess, Seqlock}
+	return []*Analyzer{NoAlloc, ShardLock, Sentinel, BankAccess, Seqlock, LockOrder, GuardedBy}
 }
 
 // AnalyzerNames returns the known analyzer names (for directive
@@ -152,11 +196,14 @@ func (s *Suite) Run(dir string, patterns ...string) ([]Diagnostic, error) {
 		pkg.dirs = parseDirectives(s, pkg)
 	}
 	// Facts first — summarise every package, then propagate allocation
-	// through the whole call graph, so analyzers see final facts.
+	// and lock-acquisition facts through the whole call graph, so
+	// analyzers see final facts.
 	for _, pkg := range pkgs {
 		collectAllocFacts(s, pkg)
 	}
 	s.propagateAllocFacts()
+	s.locks = collectLockGraph(s)
+	s.locks.propagate()
 	for _, pkg := range pkgs {
 		if !pkg.IsTarget {
 			continue
@@ -208,9 +255,13 @@ type directive struct {
 	pos   token.Pos
 	line  int    // line the comment sits on
 	file  string // filename
-	verb  string // "noalloc", "rankwide", "seqread", "allow"
+	verb  string // "noalloc", "rankwide", "seqread", "lock", ... "allow"
 	args  string // text after the verb
 	inDoc *ast.FuncDecl
+	// inField is set when the comment is a struct field's doc or line
+	// comment; fieldOwner is the declaring struct type's name.
+	inField    *ast.Field
+	fieldOwner string
 }
 
 // directives indexes a package's //chipkill: comments.
@@ -232,18 +283,48 @@ func parseDirectives(s *Suite, pkg *Package) *directives {
 		funcAllows: map[*ast.FuncDecl]map[string]bool{},
 		lineAllows: map[string]map[int]map[string]bool{},
 	}
+	type fieldSite struct {
+		field *ast.Field
+		owner string
+	}
 	for _, f := range pkg.Files {
 		docOf := map[*ast.CommentGroup]*ast.FuncDecl{}
+		fieldOf := map[*ast.CommentGroup]fieldSite{}
 		for _, decl := range f.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok {
-				d.decls = append(d.decls, fd)
-				if fd.Doc != nil {
-					docOf[fd.Doc] = fd
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				d.decls = append(d.decls, decl)
+				if decl.Doc != nil {
+					docOf[decl.Doc] = decl
+				}
+			case *ast.GenDecl:
+				if decl.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range decl.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, fld := range st.Fields.List {
+						site := fieldSite{field: fld, owner: ts.Name.Name}
+						if fld.Doc != nil {
+							fieldOf[fld.Doc] = site
+						}
+						if fld.Comment != nil {
+							fieldOf[fld.Comment] = site
+						}
+					}
 				}
 			}
 		}
 		for _, cg := range f.Comments {
 			owner := docOf[cg]
+			site := fieldOf[cg]
 			for _, c := range cg.List {
 				if !strings.HasPrefix(c.Text, directivePrefix) {
 					continue
@@ -254,6 +335,7 @@ func parseDirectives(s *Suite, pkg *Package) *directives {
 				dir := directive{
 					pos: c.Pos(), line: pos.Line, file: pos.Filename,
 					verb: verb, args: strings.TrimSpace(args), inDoc: owner,
+					inField: site.field, fieldOwner: site.owner,
 				}
 				d.all = append(d.all, dir)
 				switch verb {
@@ -343,6 +425,62 @@ func (s *Suite) validateDirectives(pkg *Package) {
 				s.reportAlways("directive", dir.pos,
 					fmt.Sprintf("//chipkill:%s must be part of a function declaration's doc comment", dir.verb))
 			}
+		case "lock":
+			if dir.inDoc == nil && dir.inField == nil {
+				s.reportAlways("directive", dir.pos,
+					"//chipkill:lock must be attached to a struct field or a function declaration")
+				continue
+			}
+			name, _, _, perr := parseLockArgs(dir.args)
+			if perr != "" {
+				s.reportAlways("directive", dir.pos, perr)
+				continue
+			}
+			if decl := s.locks.decls[name]; decl != nil && decl.pos != dir.pos {
+				s.reportAlways("directive", dir.pos,
+					fmt.Sprintf("lock %q redeclared (first declared at %s)", name, s.fset.Position(decl.pos)))
+			}
+		case "locks", "unlocks", "holds":
+			if dir.inDoc == nil {
+				s.reportAlways("directive", dir.pos,
+					fmt.Sprintf("//chipkill:%s must be part of a function declaration's doc comment", dir.verb))
+				continue
+			}
+			name := strings.TrimSpace(dir.args)
+			switch {
+			case name == "" || len(strings.Fields(name)) != 1:
+				s.reportAlways("directive", dir.pos,
+					fmt.Sprintf("//chipkill:%s needs exactly one lock name", dir.verb))
+			case s.locks.decls[name] == nil:
+				s.reportAlways("directive", dir.pos,
+					fmt.Sprintf("//chipkill:%s references undeclared lock %q", dir.verb, name))
+			}
+		case "guardedby":
+			if dir.inField == nil {
+				s.reportAlways("directive", dir.pos,
+					"//chipkill:guardedby must be attached to a struct field")
+				continue
+			}
+			names := strings.Fields(dir.args)
+			if len(names) == 0 {
+				s.reportAlways("directive", dir.pos,
+					"//chipkill:guardedby needs one or more lock names")
+				continue
+			}
+			for _, name := range names {
+				if s.locks.decls[name] == nil {
+					s.reportAlways("directive", dir.pos,
+						fmt.Sprintf("//chipkill:guardedby references undeclared lock %q", name))
+				}
+			}
+		case "atomic":
+			if dir.inField == nil {
+				s.reportAlways("directive", dir.pos,
+					"//chipkill:atomic must be attached to a struct field")
+			} else if dir.args != "" {
+				s.reportAlways("directive", dir.pos,
+					"//chipkill:atomic takes no arguments")
+			}
 		case "allow":
 			analyzer, reason, _ := strings.Cut(dir.args, " ")
 			switch {
@@ -358,9 +496,42 @@ func (s *Suite) validateDirectives(pkg *Package) {
 			}
 		default:
 			s.reportAlways("directive", dir.pos,
-				fmt.Sprintf("unknown directive //chipkill:%s (known: noalloc, rankwide, seqread, allow)", dir.verb))
+				fmt.Sprintf("unknown directive //chipkill:%s (known: noalloc, rankwide, seqread, lock, locks, unlocks, holds, guardedby, atomic, allow)", dir.verb))
 		}
 	}
+}
+
+// parseLockArgs parses "<name> level=<n> [ranked]"; perr is the
+// diagnostic message on malformed input.
+func parseLockArgs(args string) (name string, level int, ranked bool, perr string) {
+	const usage = "//chipkill:lock needs a name and a level: //chipkill:lock <name> level=<n> [ranked]"
+	fields := strings.Fields(args)
+	if len(fields) == 0 {
+		return "", 0, false, usage
+	}
+	name = fields[0]
+	if strings.Contains(name, "=") {
+		return "", 0, false, usage
+	}
+	haveLevel := false
+	for _, f := range fields[1:] {
+		switch {
+		case strings.HasPrefix(f, "level="):
+			n, err := strconv.Atoi(strings.TrimPrefix(f, "level="))
+			if err != nil {
+				return "", 0, false, fmt.Sprintf("//chipkill:lock %s: bad level %q (want an integer)", name, strings.TrimPrefix(f, "level="))
+			}
+			level, haveLevel = n, true
+		case f == "ranked":
+			ranked = true
+		default:
+			return "", 0, false, fmt.Sprintf("//chipkill:lock %s: unknown option %q (want level=<n> or ranked)", name, f)
+		}
+	}
+	if !haveLevel {
+		return "", 0, false, usage
+	}
+	return name, level, ranked, ""
 }
 
 // ---- shared type helpers ----

@@ -25,6 +25,16 @@ func TestDirectiveValidation(t *testing.T) {
 		`//chipkill:allow needs an analyzer name and a reason`,
 		`//chipkill:allow names unknown analyzer "frobcheck"`,
 		`//chipkill:allow noalloc needs a reason`,
+		`lock "d.box" redeclared`,
+		`//chipkill:lock needs a name and a level`,
+		`bad level "ten"`,
+		`//chipkill:lock must be attached to a struct field or a function declaration`,
+		`//chipkill:holds references undeclared lock "d.absent"`,
+		`//chipkill:locks references undeclared lock "d.unknown"`,
+		`//chipkill:guardedby must be attached to a struct field`,
+		`//chipkill:guardedby references undeclared lock "d.missing"`,
+		`//chipkill:atomic takes no arguments`,
+		`//chipkill:atomic must be attached to a struct field`,
 	}
 	var directiveDiags []analysis.Diagnostic
 	for _, d := range diags {

@@ -1,0 +1,27 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"chipkillpm/internal/analysis"
+	"chipkillpm/internal/analysis/analysistest"
+)
+
+func TestGuardedBy(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/guardedby", analysis.GuardedBy)
+
+	// Annotation-removal regression: the fixture's Telemetry counter has
+	// no //chipkill:atomic mark, and the coverage rule must flag it. If
+	// someone deletes the bare-atomic check, this fails loudly.
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "no //chipkill:atomic annotation") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("guardedby no longer flags bare atomic fields: annotation removal would go unnoticed")
+	}
+}

@@ -1,0 +1,27 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"chipkillpm/internal/analysis"
+	"chipkillpm/internal/analysis/analysistest"
+)
+
+func TestLockOrder(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/lockorder", analysis.LockOrder)
+
+	// Annotation-removal regression: the fixture's plainBox mutex carries
+	// no //chipkill:lock mark, and the coverage rule must refuse to let it
+	// slide. If someone deletes the bare-mutex check, this fails loudly.
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "no //chipkill:lock annotation") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("lockorder no longer flags bare mutex fields: annotation removal would go unnoticed")
+	}
+}

@@ -1,6 +1,7 @@
 package analysis_test
 
 import (
+	"strings"
 	"testing"
 
 	"chipkillpm/internal/analysis"
@@ -22,5 +23,22 @@ func TestRepoClean(t *testing.T) {
 	}
 	if len(diags) > 0 {
 		t.Fatalf("chipkillvet found %d finding(s) in the repository", len(diags))
+	}
+
+	// The clean run is only meaningful if it actually swept the whole
+	// tree: the binaries and examples must be in the target set, not just
+	// the internal packages.
+	targets := suite.TargetPaths()
+	for _, prefix := range []string{"chipkillpm/cmd/", "chipkillpm/examples/"} {
+		covered := false
+		for _, p := range targets {
+			if strings.HasPrefix(p, prefix) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("smoke run covered no packages under %s (got %d targets)", prefix, len(targets))
+		}
 	}
 }

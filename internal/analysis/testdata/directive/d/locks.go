@@ -1,0 +1,48 @@
+package d
+
+import "sync"
+
+// box declares one valid lock and several malformed lock-family marks;
+// the validator must reject each malformed one (expectations live in
+// directive_test.go).
+type box struct {
+	//chipkill:lock d.box level=10
+	mu sync.Mutex
+	//chipkill:lock d.box level=20
+	mu2 sync.Mutex
+	//chipkill:lock d.noLevel
+	mu3 sync.Mutex
+	//chipkill:lock d.badLevel level=ten
+	mu4 sync.Mutex
+	//chipkill:guardedby d.missing
+	val int
+	//chipkill:atomic with args
+	n int64
+}
+
+//chipkill:lock floating level=5
+var floatingLock sync.Mutex
+
+//chipkill:holds d.absent
+func needsAbsent() {}
+
+//chipkill:locks d.unknown
+func locksUnknown() {}
+
+//chipkill:guardedby d.box
+func guardedOnFunc() {}
+
+//chipkill:atomic
+func atomicOnFunc() {}
+
+func useBox(b *box) {
+	b.mu.Lock()
+	_ = b.val
+	b.mu.Unlock()
+	_ = b.n
+	_ = &floatingLock
+	needsAbsent()
+	locksUnknown()
+	guardedOnFunc()
+	atomicOnFunc()
+}

@@ -1,0 +1,3 @@
+module guardstub
+
+go 1.22

@@ -1,0 +1,67 @@
+// Package fleet is a miniature of the fleet's publication discipline: a
+// mutex-guarded slice, an atomic counter, and a plain word published via
+// sync/atomic functions.
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Fleet holds one instance of each field contract.
+type Fleet struct {
+	//chipkill:lock fleet.mu level=10
+	mu sync.Mutex
+	//chipkill:guardedby fleet.mu
+	pool []int64
+	//chipkill:atomic
+	count atomic.Int64
+	//chipkill:atomic
+	raw int64
+}
+
+// Telemetry's counter lost its mark; the coverage rule must flag it.
+type Telemetry struct {
+	hits atomic.Int64 // want `no //chipkill:atomic annotation`
+}
+
+func (f *Fleet) goodRead() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.pool[0]
+}
+
+func (f *Fleet) badRead() int64 {
+	return f.pool[0] // want `accessed without holding "fleet.mu"`
+}
+
+// lockedHelper's contract makes lexically lock-free helpers checkable.
+//
+//chipkill:holds fleet.mu
+func (f *Fleet) lockedHelper() { f.pool[0] = 1 }
+
+func (f *Fleet) viaHelper() {
+	f.mu.Lock()
+	f.lockedHelper()
+	f.mu.Unlock()
+}
+
+func (f *Fleet) goodAtomic() {
+	f.count.Add(1)
+	atomic.AddInt64(&f.raw, 1)
+}
+
+func (f *Fleet) badAtomicAddr() *atomic.Int64 {
+	return &f.count // want `sync/atomic methods`
+}
+
+func (f *Fleet) badRaw() int64 {
+	return f.raw // want `accessed through sync/atomic`
+}
+
+// construction demonstrates the reasoned escape hatch for
+// pre-publication initialisation.
+func (f *Fleet) construction() {
+	//chipkill:allow guardedby initialisation before the fleet is published
+	f.pool = make([]int64, 4)
+}

@@ -1,0 +1,3 @@
+module lockstub
+
+go 1.22

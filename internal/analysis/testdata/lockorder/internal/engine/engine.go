@@ -1,0 +1,50 @@
+// Package engine is a miniature of the real engine's locking shape: a
+// ranked per-shard mutex behind lockWrite/unlockWrite helpers and a
+// scoped quiesce entry point.
+package engine
+
+import "sync"
+
+type shard struct {
+	//chipkill:lock engine.shard level=30 ranked
+	mu sync.Mutex
+}
+
+// Engine fans demand traffic across shards.
+type Engine struct {
+	shards []*shard
+}
+
+// lockWrite opens a shard writer section.
+//
+//chipkill:locks engine.shard
+func (s *shard) lockWrite() { s.mu.Lock() }
+
+// unlockWrite closes it.
+//
+//chipkill:unlocks engine.shard
+func (s *shard) unlockWrite() { s.mu.Unlock() }
+
+// Quiesce runs f with every shard lock held, in ascending shard order.
+//
+//chipkill:lock engine.rank level=20
+func (e *Engine) Quiesce(f func()) {
+	for _, s := range e.shards {
+		s.lockWrite()
+	}
+	f()
+	for i := len(e.shards) - 1; i >= 0; i-- {
+		e.shards[i].unlockWrite()
+	}
+}
+
+// BadQuiesce takes the ranked shard locks in descending order — a
+// deadlock against the ascending convention.
+func (e *Engine) BadQuiesce() {
+	for i := len(e.shards) - 1; i >= 0; i-- {
+		e.shards[i].lockWrite() // want `descending loop`
+	}
+	for _, s := range e.shards {
+		s.unlockWrite()
+	}
+}

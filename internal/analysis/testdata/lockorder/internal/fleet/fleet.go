@@ -1,0 +1,115 @@
+// Package fleet is a miniature of the real fleet's locking shape: band
+// mutexes below the engine locks, a pool mutex above them, and a
+// campaign hook registered through a one-hop setter.
+package fleet
+
+import (
+	"sync"
+
+	"lockstub/internal/engine"
+)
+
+type bandState struct {
+	//chipkill:lock fleet.band level=10
+	mu sync.Mutex
+}
+
+// Fleet owns the bands, the pool lock, and one engine.
+type Fleet struct {
+	//chipkill:lock fleet.pool level=40
+	poolMu sync.Mutex
+	bands  []bandState
+	eng    *engine.Engine
+	hook   func()
+}
+
+// plainBox lost its lock mark; the coverage rule must flag it.
+type plainBox struct {
+	mu sync.Mutex // want `no //chipkill:lock annotation`
+}
+
+// good acquires in declared order: band (10) then pool (40).
+func (f *Fleet) good(i int) {
+	bs := &f.bands[i]
+	bs.mu.Lock()
+	f.poolMu.Lock()
+	f.poolMu.Unlock()
+	bs.mu.Unlock()
+}
+
+// bad inverts the order: pool (40) then band (10).
+func (f *Fleet) bad(i int) {
+	f.poolMu.Lock()
+	bs := &f.bands[i]
+	bs.mu.Lock() // want `lock levels must strictly increase`
+	bs.mu.Unlock()
+	f.poolMu.Unlock()
+}
+
+// lockBand/unlockBand are plain helpers; the transitive check sees
+// through them.
+func (f *Fleet) lockBand(i int) { f.bands[i].mu.Lock() }
+
+func (f *Fleet) unlockBand(i int) { f.bands[i].mu.Unlock() }
+
+// badTransitive inverts the order through a helper.
+func (f *Fleet) badTransitive(i int) {
+	f.poolMu.Lock()
+	f.lockBand(i) // want `may acquire "fleet.band"`
+	f.unlockBand(i)
+	f.poolMu.Unlock()
+}
+
+// lockAllBands multi-instance-holds a lock that is not declared ranked.
+func (f *Fleet) lockAllBands() {
+	for i := range f.bands {
+		f.bands[i].mu.Lock() // want `not declared ranked`
+	}
+	for i := range f.bands {
+		f.bands[i].mu.Unlock()
+	}
+}
+
+// nestedDirect quiesces inside a quiesce.
+func (f *Fleet) nestedDirect() {
+	f.eng.Quiesce(func() {
+		f.eng.Quiesce(func() {}) // want `nested "engine.rank"`
+	})
+}
+
+// SetHook stores a campaign hook; literal arguments at its call sites
+// become the hook field's targets.
+func (f *Fleet) SetHook(fn func()) { f.hook = fn }
+
+// installKiller registers a hook that quiesces — fine at registration
+// time, fatal if ever invoked from inside a quiescent section.
+func (f *Fleet) installKiller() {
+	f.SetHook(func() { f.eng.Quiesce(func() {}) })
+}
+
+// insideQuiesce runs within the rank's quiescent section and fires the
+// hook: a transitive nested quiesce.
+//
+//chipkill:holds engine.rank
+func (f *Fleet) insideQuiesce() {
+	f.hook() // want `nested "engine.rank"`
+}
+
+// callsUnlocked violates insideQuiesce's holds contract.
+func (f *Fleet) callsUnlocked() {
+	f.insideQuiesce() // want `requires lock "engine.rank" held`
+}
+
+// callsLocked satisfies it through the scoped extent.
+func (f *Fleet) callsLocked() {
+	f.eng.Quiesce(func() { f.insideQuiesce() })
+}
+
+// allowedInversion demonstrates the reasoned escape hatch.
+func (f *Fleet) allowedInversion(i int) {
+	f.poolMu.Lock()
+	//chipkill:allow lockorder fixture demonstrates a reasoned exception
+	f.bands[i].mu.Lock()
+	f.bands[i].mu.Unlock()
+	f.poolMu.Unlock()
+}

@@ -161,6 +161,7 @@ type Controller struct {
 	// statsMu serialises Stats/ResetStats against the scrubs' batched
 	// counter publication. Demand paths mutate stats without it. The
 	// per-chip telemetry shares the lock and the contract.
+	//chipkill:lock core.stats level=50
 	statsMu sync.Mutex
 	stats   Stats
 	tel     Telemetry

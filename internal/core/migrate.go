@@ -46,7 +46,8 @@ import (
 // every controller (engine shard) over the rank.
 type MigrationState struct {
 	failedChip int
-	cursor     atomic.Int64
+	//chipkill:atomic
+	cursor atomic.Int64
 }
 
 // NewMigrationState builds migration state for the given failed data chip

@@ -61,12 +61,17 @@ type Config struct {
 }
 
 type shard struct {
-	mu   sync.Mutex
+	//chipkill:lock engine.shard level=30 ranked
+	mu sync.Mutex
+	// ctrl is mutated under mu (demand paths) or with every shard lock
+	// held (rank-wide maintenance inside a quiescent section).
+	//chipkill:guardedby engine.shard engine.rank
 	ctrl *core.Controller
 	// seq is the shard's seqlock generation: odd while a writer is inside
 	// its critical section, even otherwise. Writers bump it on both edges
 	// under mu (see lockWrite/unlockWrite); lock-free readers bracket
 	// their gathers with two loads of it.
+	//chipkill:atomic
 	seq atomic.Uint64
 	// hasDisabled latches "some block on this shard has been retired".
 	// Set inside DisableBlock's writer section before the retirement is
@@ -74,12 +79,16 @@ type shard struct {
 	// controller's disabled-map lookup: shards that never retired a block
 	// (the steady state) stay on the fast path, shards that did fall back
 	// to the locked read, which consults the map.
+	//chipkill:atomic
 	hasDisabled atomic.Bool
 	_           cpu.CacheLinePad
 	// Lock-free read outcome counters, on their own cache line so reader
 	// cores bumping them don't invalidate the writers' mutex/seq line.
-	fastReads    atomic.Int64
-	seqRetries   atomic.Int64
+	//chipkill:atomic
+	fastReads atomic.Int64
+	//chipkill:atomic
+	seqRetries atomic.Int64
+	//chipkill:atomic
 	seqFallbacks atomic.Int64
 	_            cpu.CacheLinePad
 }
@@ -113,10 +122,12 @@ type Engine struct {
 	// raw original-layout gather reads striped bytes that could — rarely —
 	// still satisfy the RS check, which would be silent data corruption,
 	// so lock-free readers stand down permanently.
+	//chipkill:atomic
 	degraded atomic.Bool
 	// mig publishes the online-migration state to lock-free readers, set
 	// before the first band moves. Blocks below the cursor are striped and
 	// must take the locked path.
+	//chipkill:atomic
 	mig atomic.Pointer[core.MigrationState]
 }
 
@@ -297,6 +308,8 @@ func (e *Engine) ResetStats() {
 // sequence that the bumps invalidate and discards its result. Rank-wide
 // maintenance — fault injection, wear-out events, row-close sweeps —
 // must go through it.
+//
+//chipkill:lock engine.rank level=20
 func (e *Engine) Quiesce(f func()) {
 	for _, s := range e.shards {
 		s.lockWrite()

@@ -44,6 +44,8 @@ const seqReadRetries = 2
 // layout state — must happen between lockWrite and unlockWrite; the
 // seqlock analyzer in chipkillvet enforces this for the policed
 // controller mutators.
+//
+//chipkill:locks engine.shard
 func (s *shard) lockWrite() {
 	s.mu.Lock()
 	s.seq.Add(1)
@@ -52,6 +54,8 @@ func (s *shard) lockWrite() {
 // unlockWrite closes the critical section: sequence back to even
 // (publishing the mutations to the next reader generation), then the
 // mutex handoff.
+//
+//chipkill:unlocks engine.shard
 func (s *shard) unlockWrite() {
 	s.seq.Add(1)
 	s.mu.Unlock()

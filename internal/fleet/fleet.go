@@ -121,12 +121,17 @@ const (
 // replica-consulting read paths) serialise on mu; reads of an
 // unreplicated band on a live rank never touch it.
 type bandState struct {
-	mu          sync.Mutex
-	state       atomic.Int32
+	//chipkill:lock fleet.band level=10
+	mu sync.Mutex
+	//chipkill:atomic
+	state atomic.Int32
+	//chipkill:atomic
 	replicaRank atomic.Int32
+	//chipkill:atomic
 	replicaSlot atomic.Int32
 	// heat counts demand ops against the band — the replication policy's
 	// hotness signal.
+	//chipkill:atomic
 	heat atomic.Int64
 }
 
@@ -139,6 +144,7 @@ type node struct {
 	region *guard.Region
 	// killed latches whole-rank failure. Set before the chips fail (under
 	// the engine's quiesce), checked first by every demand path.
+	//chipkill:atomic
 	killed atomic.Bool
 	// pressure is the decayed per-rank error signal the replication
 	// policy weighs heat by; prevTel is its telemetry baseline. Both are
@@ -146,7 +152,8 @@ type node struct {
 	pressure float64
 	prevTel  core.Telemetry
 	// pool[slot] is the fleet band hosted in that replica slot, -1 when
-	// free. Guarded by the fleet's poolMu.
+	// free.
+	//chipkill:guardedby fleet.pool
 	pool []int64
 }
 
@@ -166,24 +173,37 @@ type Fleet struct {
 	blockBytes int
 	rsCode     *rs.Code // erasure decoder for the local repair fallback
 
-	poolMu sync.Mutex // guards every node's pool free-list
+	// poolMu guards every node's pool free-list.
+	//chipkill:lock fleet.pool level=40
+	poolMu sync.Mutex
 
 	verifyCursor int64 // anti-entropy round-robin position (tick-owned)
 
 	// repMu guards the repair history appended by RepairChip.
-	repMu   sync.Mutex
+	//chipkill:lock fleet.repairs level=41
+	repMu sync.Mutex
+	//chipkill:guardedby fleet.repairs
 	repairs []RepairReport
 
 	// Fleet-wide outcome counters (see Stats).
-	replications   atomic.Int64
-	failoverReads  atomic.Int64
+	//chipkill:atomic
+	replications atomic.Int64
+	//chipkill:atomic
+	failoverReads atomic.Int64
+	//chipkill:atomic
 	failoverWrites atomic.Int64
-	readRepairs    atomic.Int64
-	divergenceFix  atomic.Int64
-	containedDUEs  atomic.Int64
+	//chipkill:atomic
+	readRepairs atomic.Int64
+	//chipkill:atomic
+	divergenceFix atomic.Int64
+	//chipkill:atomic
+	containedDUEs atomic.Int64
+	//chipkill:atomic
 	rejectedWrites atomic.Int64
-	rankKills      atomic.Int64
-	chipRepairs    atomic.Int64
+	//chipkill:atomic
+	rankKills atomic.Int64
+	//chipkill:atomic
+	chipRepairs atomic.Int64
 }
 
 // New builds a fresh fleet: new zeroed ranks, engines, journal regions
@@ -279,13 +299,14 @@ func newFromParts(cfg Config, ranks []*rank.Rank, regions []*guard.Region) (*Fle
 		if err != nil {
 			return nil, fmt.Errorf("fleet: rank %d supervisor: %w", i, err)
 		}
+		poolSlice := make([]int64, pool)
+		for s := range poolSlice {
+			poolSlice[s] = -1
+		}
 		n := &node{
 			idx: i, rank: r, eng: eng, sup: sup, region: region,
 			prevTel: eng.Telemetry(),
-			pool:    make([]int64, pool),
-		}
-		for s := range n.pool {
-			n.pool[s] = -1
+			pool:    poolSlice,
 		}
 		if r.FailedChips() >= r.NumChips() {
 			n.killed.Store(true) // a rank killed before the crash stays contained

@@ -111,10 +111,10 @@ func (f *Fleet) rankHasLiveReplica(rk int) bool {
 // serial equivalent of BootScrub's scan. The erasure decode that follows
 // a repair needs it: RS(72,64) with a whole chip erased has consumed all
 // eight check symbols, so any residual drift error in the surviving
-// chips would corrupt the rebuild silently. Runs inside the rank's
-// quiesce.
+// chips would corrupt the rebuild silently.
 //
 //chipkill:rankwide
+//chipkill:holds engine.rank
 func (f *Fleet) scrubVLEWs(n *node) {
 	r := n.rank
 	rcfg := r.Config()
@@ -146,9 +146,10 @@ func (f *Fleet) scrubVLEWs(n *node) {
 
 // repairParityChip re-encodes every block's RS check bytes from the data
 // chips — parity carries no user data, so there is nothing to copy from
-// a replica. Runs inside the rank's quiesce.
+// a replica.
 //
 //chipkill:rankwide
+//chipkill:holds engine.rank
 func (f *Fleet) repairParityChip(n *node, rep *RepairReport) {
 	r := n.rank
 	r.CloseAllRows() // drain EURs so raw reads see settled cells
@@ -168,11 +169,11 @@ func (f *Fleet) repairParityChip(n *node, rep *RepairReport) {
 
 // repairDataChip rebuilds a failed data chip band by band: replica copy
 // where the band has a live replica, RS erasure decode everywhere else
-// (unreplicated primary bands and the rank's replica pool). Runs inside
-// the rank's quiesce; reads of other ranks' engines from here are
-// ordinary corrected demand reads — nested quiesces never happen.
+// (unreplicated primary bands and the rank's replica pool). Reads of
+// other ranks' engines from here are ordinary corrected demand reads.
 //
 //chipkill:rankwide
+//chipkill:holds engine.rank
 func (f *Fleet) repairDataChip(n *node, chip int, rep *RepairReport) {
 	r := n.rank
 	r.CloseAllRows()
@@ -198,6 +199,12 @@ func (f *Fleet) repairDataChip(n *node, chip int, rep *RepairReport) {
 		}
 		bandsDone++
 		if f.cfg.RepairBandHook != nil {
+			// The campaign hooks registered here kill *other* ranks
+			// mid-repair, quiescing a different engine instance than the
+			// one this repair holds; the instance-blind lock model cannot
+			// see the distinction. The single supervision goroutine never
+			// re-enters this rank's own quiesce.
+			//chipkill:allow lockorder hook quiesces a different rank's engine, never this one's
 			f.cfg.RepairBandHook(n.idx, bandsDone)
 		}
 	}
@@ -214,6 +221,7 @@ func (f *Fleet) repairDataChip(n *node, chip int, rep *RepairReport) {
 // any replica read fails.
 //
 //chipkill:rankwide
+//chipkill:holds engine.rank
 func (f *Fleet) repairBandFromReplica(n, rn *node, bs *bandState, chip int, localBand, fb int64, buf []byte, rep *RepairReport) bool {
 	r := n.rank
 	nb := r.Config().ChipAccessBytes
@@ -239,6 +247,7 @@ func (f *Fleet) repairBandFromReplica(n, rn *node, bs *bandState, chip int, loca
 // rebuild BootScrub runs, timed.
 //
 //chipkill:rankwide
+//chipkill:holds engine.rank
 func (f *Fleet) repairBandByErasure(n *node, chip int, base, count int64, rep *RepairReport) {
 	r := n.rank
 	nb := r.Config().ChipAccessBytes

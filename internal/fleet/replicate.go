@@ -1,8 +1,9 @@
 // Replication tier: a trailing band pool on every rank, a copier that
 // mirrors a hot band onto a distinct rank, a telemetry-weighted policy
 // choosing which bands deserve a slot, and an anti-entropy sweep that
-// keeps replicas honest. Lock order everywhere: band mutex, then engine
-// shard locks (inside the read/write calls), then poolMu.
+// keeps replicas honest. The lock order is the declared //chipkill:lock
+// levels (fleet.band, then the engine locks inside the read/write calls,
+// then fleet.pool), enforced by the lockorder analyzer.
 package fleet
 
 import (
@@ -47,9 +48,11 @@ func (f *Fleet) freeSlot(rk, slot int) {
 }
 
 // demoteBandLocked drops a band's replica (failed write-through, dead
-// replica rank, divergence that cannot be healed). Caller holds the band
-// mutex; the slot returns to the pool and the band is plain unreplicated
-// storage again — correctness never depended on the replica.
+// replica rank, divergence that cannot be healed). The slot returns to
+// the pool and the band is plain unreplicated storage again —
+// correctness never depended on the replica.
+//
+//chipkill:holds fleet.band
 func (f *Fleet) demoteBandLocked(bs *bandState) {
 	if bs.state.Load() == bandNone {
 		return

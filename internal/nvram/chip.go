@@ -102,7 +102,9 @@ func (s Stats) CFactor() float64 {
 // Decoding (the expensive part of a scrub) happens outside the chip and
 // needs no lock.
 type Chip struct {
-	mu      sync.Mutex // guards the *VLEW methods and the failed-read rng
+	// mu guards the *VLEW methods and the failed-read rng.
+	//chipkill:lock nvram.chip level=60
+	mu      sync.Mutex
 	geom    Geometry
 	enc     *bch.Code // VLEW encoder; nil disables in-chip encoding
 	cells   []byte    // banks x rows x RowTotalBytes
@@ -132,7 +134,10 @@ type Chip struct {
 	bank    []bankScratch
 	rowWear []int64           // writes per row, for wear accounting
 	stuck   map[int]stuckCell // worn-out cells: writes cannot change them
-	stats   Stats
+	// stats fields are only touched through sync/atomic: banks race on
+	// them, and Stats() snapshots them without stopping traffic.
+	//chipkill:atomic
+	stats Stats
 }
 
 // bankScratch is the reusable working memory of one bank's write chain.

@@ -106,6 +106,7 @@ type Rank struct {
 	// codeword, so raw-array readers must stand down the moment any chip
 	// is unhealthy and let the locked correction path model the garbage
 	// the failed device actually returns.
+	//chipkill:atomic
 	failedChips atomic.Int32
 }
 

@@ -21,7 +21,7 @@ quick=false
 echo "== go vet"
 go vet ./...
 
-echo "== chipkillvet (contract analyzers)"
+echo "== chipkillvet (contract analyzers: noalloc shardlock sentinel bankaccess seqlock lockorder guardedby)"
 go run ./cmd/chipkillvet ./...
 
 # Third-party static analysis, pinned and fetched on demand. Offline
